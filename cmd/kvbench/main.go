@@ -1,0 +1,35 @@
+// Command kvbench regenerates Figure 11: aggregated memcached transaction
+// throughput for 16 instances under memslap-style load (64-byte keys, 1 KiB
+// values, 90%/10% GET/SET).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	window := flag.Float64("window", 20, "simulated milliseconds")
+	cores := flag.Int("cores", 16, "memcached instances (one per core)")
+	flag.Parse()
+
+	if *cores == 16 {
+		t, err := bench.Fig11(bench.Options{WindowMs: *window})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t)
+		return
+	}
+	for _, sys := range bench.FigureSystems {
+		r, err := bench.RunMemcached(sys, *cores, *window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %6.2f Mtx/s  cpu %5.1f%%  errors %d\n",
+			sys, r.TransactionsPS/1e6, r.CPUPct, r.Errors)
+	}
+}

@@ -1,0 +1,32 @@
+// Command latbench regenerates the latency experiments: Figure 9 (netperf
+// TCP_RR latency and CPU across message sizes) and, with -breakdown,
+// Figure 10 (the CPU-utilization breakdown at 64 KiB messages).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	window := flag.Float64("window", 20, "simulated milliseconds per data point")
+	breakdown := flag.Bool("breakdown", false, "also print the Figure 10 CPU breakdown")
+	flag.Parse()
+
+	opt := bench.Options{WindowMs: *window}
+	t, _, err := bench.Fig9(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
+	if *breakdown {
+		t10, err := bench.Fig10(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t10)
+	}
+}

@@ -1,0 +1,66 @@
+// Command memreport reproduces the paper's §6 memory-consumption
+// measurement: the shadow DMA buffer pool footprint under the 16-core
+// workloads, compared against the worst-case bound (~2.1 GB), and the
+// per-size-class composition.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/netstack"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+func main() {
+	window := flag.Float64("window", 20, "simulated milliseconds")
+	flag.Parse()
+
+	t, err := bench.MemoryConsumption(bench.Options{WindowMs: *window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
+
+	// Per-class detail for the RX workload.
+	cfg := bench.DefaultConfig(bench.SysCopy, bench.RX, 16, 65536)
+	cfg.WindowMs = *window
+	mach, err := bench.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		c := c
+		mach.Eng.Spawn(fmt.Sprintf("rx%d", c), c, 0, func(p *sim.Proc) {
+			if err := mach.Driver.SetupQueue(p, c); err != nil {
+				return
+			}
+			var st netstack.RxStats
+			_ = mach.Driver.RunRxStream(p, c, cfg.MsgSize, &st)
+		})
+		src := nic.NewSource(mach.Eng, mach.NIC.Queue(c), cfg.Costs, cfg.MsgSize, cfg.MTU, true)
+		src.Start(0)
+	}
+	mach.Eng.Run(cycles.FromMillis(*window))
+	sm := mach.Mapper.(*core.ShadowMapper)
+	ps := sm.Pool().Stats()
+	mach.Eng.Stop()
+
+	fmt.Println("shadow pool composition (16-core RX):")
+	for i, b := range ps.BytesByClass {
+		fmt.Printf("  class %d: %8.2f MB\n", i, float64(b)/(1<<20))
+	}
+	fmt.Printf("  acquires %d  releases %d  grows %d  fallback buffers %d\n",
+		ps.Acquires, ps.Releases, ps.Grows, ps.FallbackBuffers)
+	fmt.Printf("  total: %.2f MB (worst-case bound: ~2.1 GB; paper observed < 256 MB)\n",
+		float64(ps.TotalBytes())/(1<<20))
+	tlb := mach.IOMMU.TLB()
+	fmt.Printf("IOTLB: %.1f%% hit rate (%d hits / %d misses / %d evictions) — permanent\n"+
+		"mappings keep locality; no invalidations were ever submitted (%d)\n",
+		100*tlb.HitRate(), tlb.Hits, tlb.Misses, tlb.Evictions, mach.IOMMU.Queue.Submitted)
+}

@@ -1,0 +1,114 @@
+// Command netbench regenerates the paper's netperf TCP_STREAM experiments:
+// Figure 1 (motivation), Figures 3/4 (single-core RX/TX), Figures 6/7
+// (16-core RX/TX) and the per-packet breakdowns of Figures 5 and 8.
+//
+// Usage:
+//
+//	netbench -experiment fig3 [-window 20] [-sizes 64,1024,65536]
+//	netbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cycles"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig1|fig3|fig4|fig5|fig6|fig7|fig8|sensitivity|all")
+	window := flag.Float64("window", 20, "simulated milliseconds per data point")
+	sizes := flag.String("sizes", "", "comma-separated message sizes (default: the paper's 64B..64KB sweep)")
+	format := flag.String("format", "text", "output format: text|csv|json")
+	costsFile := flag.String("costs", "", "JSON cost-model override file (see internal/cycles)")
+	flag.Parse()
+
+	opt := bench.Options{WindowMs: *window}
+	if *costsFile != "" {
+		f, err := os.Open(*costsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := cycles.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Costs = c
+	}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad size %q: %v", s, err)
+			}
+			opt.Sizes = append(opt.Sizes, n)
+		}
+	}
+
+	type experimentFn func(bench.Options) (*bench.Table, error)
+	experiments := []struct {
+		name string
+		run  experimentFn
+	}{
+		{"fig1", bench.Fig1},
+		{"fig3", bench.Fig3},
+		{"fig4", bench.Fig4},
+		{"fig5", func(o bench.Options) (*bench.Table, error) {
+			return breakdownBoth(o, 1)
+		}},
+		{"fig6", bench.Fig6},
+		{"fig7", bench.Fig7},
+		{"fig8", func(o bench.Options) (*bench.Table, error) {
+			return breakdownBoth(o, 16)
+		}},
+		{"sensitivity", func(o bench.Options) (*bench.Table, error) {
+			t, violations, err := bench.Sensitivity(o)
+			if err != nil {
+				return nil, err
+			}
+			t.Note = fmt.Sprintf("claim flips under perturbation: %d", violations)
+			return t, nil
+		}},
+	}
+	ran := false
+	for _, e := range experiments {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran = true
+		t, err := e.run(opt)
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		out, err := t.Render(*format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// breakdownBoth prints the RX and TX panels of a breakdown figure.
+func breakdownBoth(opt bench.Options, cores int) (*bench.Table, error) {
+	rx, _, err := bench.Breakdown(bench.RX, cores, opt)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println(rx)
+	tx, _, err := bench.Breakdown(bench.TX, cores, opt)
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}

@@ -1,0 +1,87 @@
+// Command reproduce regenerates the paper's ENTIRE evaluation — every
+// table and figure, the attack matrix, the memory measurement — plus this
+// reproduction's extension studies, as one self-contained report. With no
+// flags it takes a few minutes of wall clock (the simulation itself covers
+// a fraction of a second of virtual time per data point).
+//
+//	go run ./cmd/reproduce > report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/bench"
+)
+
+func main() {
+	window := flag.Float64("window", 10, "simulated milliseconds per data point")
+	skipSensitivity := flag.Bool("skip-sensitivity", false, "skip the (slow) sensitivity analysis")
+	flag.Parse()
+
+	opt := bench.Options{WindowMs: *window}
+	start := time.Now()
+	fmt.Println("Reproduction report: True IOMMU Protection from DMA Attacks (ASPLOS'16)")
+	fmt.Printf("window: %.0f simulated ms per data point\n\n", *window)
+
+	section := func(name string, fn func() (*bench.Table, error)) {
+		t, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(t)
+	}
+
+	// Security first: Table 1, decided by real attacks.
+	_, t1, err := attack.Table1(*window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t1)
+
+	section("fig1", func() (*bench.Table, error) { return bench.Fig1(opt) })
+	section("fig3", func() (*bench.Table, error) { return bench.Fig3(opt) })
+	section("fig4", func() (*bench.Table, error) { return bench.Fig4(opt) })
+	section("fig5a", func() (*bench.Table, error) {
+		t, _, err := bench.Breakdown(bench.RX, 1, opt)
+		return t, err
+	})
+	section("fig5b", func() (*bench.Table, error) {
+		t, _, err := bench.Breakdown(bench.TX, 1, opt)
+		return t, err
+	})
+	section("fig6", func() (*bench.Table, error) { return bench.Fig6(opt) })
+	section("fig7", func() (*bench.Table, error) { return bench.Fig7(opt) })
+	section("fig8a", func() (*bench.Table, error) {
+		t, _, err := bench.Breakdown(bench.RX, 16, opt)
+		return t, err
+	})
+	section("fig9", func() (*bench.Table, error) {
+		t, _, err := bench.Fig9(opt)
+		return t, err
+	})
+	section("fig10", func() (*bench.Table, error) { return bench.Fig10(opt) })
+	section("fig11", func() (*bench.Table, error) { return bench.Fig11(opt) })
+	section("memory", func() (*bench.Table, error) { return bench.MemoryConsumption(opt) })
+
+	// Extension studies.
+	section("api-micro", func() (*bench.Table, error) {
+		return bench.APIMicro(bench.Options{Systems: bench.ExtendedSystems})
+	})
+	section("storage", func() (*bench.Table, error) { return bench.StorageStudy(opt) })
+	section("mixed-io", func() (*bench.Table, error) { return bench.MixedStudy(opt) })
+	if !*skipSensitivity {
+		section("sensitivity", func() (*bench.Table, error) {
+			t, violations, err := bench.Sensitivity(bench.Options{WindowMs: *window / 2})
+			if err != nil {
+				return nil, err
+			}
+			t.Note = fmt.Sprintf("claim flips: %d", violations)
+			return t, nil
+		})
+	}
+	fmt.Printf("report complete in %s (wall clock)\n", time.Since(start).Round(time.Second))
+}

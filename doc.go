@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "True IOMMU
+// Protection from DMA Attacks: When Copy Is Faster Than Zero Copy"
+// (Markuze, Morrison, Tsafrir — ASPLOS 2016).
+//
+// The paper's contribution — intra-OS protection via DMA shadowing — and
+// every substrate it depends on (physical memory and slab allocation, a
+// VT-d-style IOMMU with IOTLB and invalidation queue, IOVA allocators, the
+// Linux-style DMA API with strict/deferred/identity baselines, a 40 Gb/s
+// NIC, a network datapath, and netperf/memcached workload generators) are
+// implemented as a discrete-event simulation with a cycle-cost model
+// calibrated to the paper's measurements.
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and the benchmarks in
+// bench_test.go (one per table and figure).
+package repro

@@ -1,0 +1,95 @@
+// Driver isolation demo: per-device shadow pools as an isolation boundary.
+//
+// The paper notes (§3) that DMA shadowing also fits systems that isolate
+// drivers as untrusted components: the kernel only ever exposes shadow
+// buffers to a driver/device pair, so even a colluding driver+device cannot
+// reach kernel memory, and two devices cannot reach each other's shadow
+// pools (each device has its own pool and its own IOMMU domain, §5.3).
+//
+// Run with:  go run ./examples/driver-isolation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func main() {
+	eng := sim.NewEngine()
+	m := mem.New(1)
+	costs := cycles.Default()
+	u := iommu.New(eng, m, costs)
+	k := mem.NewKmalloc(m, nil)
+
+	newDev := func(dev iommu.DeviceID) *core.ShadowMapper {
+		env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: costs, Dev: dev, Cores: 1}
+		s, err := core.NewShadowMapper(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	nicMapper := newDev(1) // an untrusted NIC + its driver
+	ssdMapper := newDev(2) // an untrusted SSD + its driver
+
+	eng.Spawn("kernel", 0, 0, func(p *sim.Proc) {
+		// The kernel holds sensitive state...
+		secret, _ := k.Alloc(0, 256)
+		check(m.Write(secret.Addr, []byte("kernel keyring")))
+
+		// ...and grants each driver a DMA buffer through its own mapper.
+		nicBuf, _ := k.Alloc(0, 1500)
+		check(m.Write(nicBuf.Addr, []byte("packet for the NIC")))
+		nicAddr, err := nicMapper.Map(p, nicBuf, dmaapi.ToDevice)
+		check(err)
+		ssdBuf, _ := k.Alloc(0, 4096)
+		check(m.Write(ssdBuf.Addr, []byte("block for the SSD")))
+		ssdAddr, err := ssdMapper.Map(p, ssdBuf, dmaapi.ToDevice)
+		check(err)
+
+		probe := make([]byte, 16)
+		report := func(what string, res iommu.DMAResult, leaked []byte) {
+			verdict := "BLOCKED (fault)"
+			if res.Fault == nil {
+				if leaked != nil && string(probe) == string(leaked[:16]) {
+					verdict = fmt.Sprintf("LEAKED %q", probe)
+				} else {
+					verdict = fmt.Sprintf("contained: read %q", probe)
+				}
+			}
+			fmt.Printf("  %-44s %s\n", what, verdict)
+		}
+		fmt.Println("each device can reach ONLY its own shadow buffers:")
+		nicData := []byte("packet for the NIC")
+		ssdData := []byte("block for the SSD\x00")
+		report("NIC reads its own mapping", u.DMARead(1, nicAddr, probe), nil)
+		report("SSD reads its own mapping", u.DMARead(2, ssdAddr, probe), nil)
+		// IOVA values are per-device: the same number translates through
+		// each device's OWN domain, so probing the other device's IOVA
+		// can only ever land in the prober's own shadow pool.
+		report("NIC probes the SSD's IOVA", u.DMARead(1, ssdAddr, probe), ssdData)
+		report("SSD probes the NIC's IOVA", u.DMARead(2, nicAddr, probe), nicData)
+		report("NIC probes kernel secret by phys addr", u.DMARead(1, iommu.IOVA(secret.Addr), probe), nil)
+		report("SSD probes kernel secret by phys addr", u.DMARead(2, iommu.IOVA(secret.Addr), probe), nil)
+
+		check(nicMapper.Unmap(p, nicAddr, nicBuf.Size, dmaapi.ToDevice))
+		check(ssdMapper.Unmap(p, ssdAddr, ssdBuf.Size, dmaapi.ToDevice))
+		fmt.Printf("pool footprints: nic %d KB, ssd %d KB (fully independent)\n",
+			nicMapper.Stats().ShadowPoolBytes/1024, ssdMapper.Stats().ShadowPoolBytes/1024)
+	})
+	eng.Run(1 << 32)
+	eng.Stop()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

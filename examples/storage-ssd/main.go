@@ -1,0 +1,106 @@
+// Storage demo: the huge-buffer hybrid path (paper §5.5).
+//
+// An NVMe-class SSD moves data in large, often misaligned buffers (here
+// 256 KiB at a 100-byte offset). Copying such buffers would cost far more
+// than an IOTLB invalidation, so DMA shadowing switches strategy: only the
+// sub-page head and tail are shadowed (copied); the page-aligned middle is
+// zero-copy mapped and strictly invalidated on unmap — affordable because
+// huge-buffer DMA rates are low (the paper cites Intel SSDs at <= 850K
+// IOPS vs 1.7M packets/s for the NIC).
+//
+// Run with:  go run ./examples/storage-ssd
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+const (
+	ssdDev  = iommu.DeviceID(7)
+	ioBytes = 256 * 1024
+	numIOs  = 64
+)
+
+func main() {
+	eng := sim.NewEngine()
+	m := mem.New(1)
+	costs := cycles.Default()
+	u := iommu.New(eng, m, costs)
+	env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: costs, Dev: ssdDev, Cores: 1}
+	mapper, err := core.NewShadowMapper(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng.Spawn("blocklayer", 0, 0, func(p *sim.Proc) {
+		// A misaligned 256 KiB read buffer: head and tail share pages
+		// with other kernel data.
+		region, err := m.AllocPages(0, ioBytes/mem.PageSize+2)
+		check(err)
+		buf := mem.Buf{Addr: region + 100, Size: ioBytes}
+		check(m.Fill(mem.Buf{Addr: region, Size: 100}, 0x5A)) // co-located bytes
+
+		var start uint64
+		for io := 0; io < numIOs; io++ {
+			if io == 1 {
+				start = p.Now() // skip first-IO warmup in the average
+			}
+			// The SSD writes a block into the buffer (a read I/O).
+			addr, err := mapper.Map(p, buf, dmaapi.FromDevice)
+			check(err)
+			block := make([]byte, ioBytes)
+			for i := range block {
+				block[i] = byte(io + i)
+			}
+			if res := u.DMAWrite(ssdDev, addr, block); res.Fault != nil {
+				log.Fatalf("SSD DMA fault: %v", res.Fault)
+			}
+			// Co-located bytes in front of the buffer stay untouchable:
+			// that page area is backed by the head shadow page.
+			head := make([]byte, 100)
+			if res := u.DMARead(ssdDev, addr-100, head); res.Fault == nil {
+				if bytes.Contains(head, []byte{0x5A, 0x5A}) {
+					log.Fatal("co-located kernel bytes leaked through the hybrid head!")
+				}
+			}
+			check(mapper.Unmap(p, addr, buf.Size, dmaapi.FromDevice))
+			got, err := m.Snapshot(buf)
+			check(err)
+			if !bytes.Equal(got, block) {
+				log.Fatalf("I/O %d: data corrupt after unmap", io)
+			}
+		}
+		elapsed := p.Now() - start
+		st := mapper.Stats()
+		perIO := cycles.Micros(elapsed) / float64(numIOs-1)
+		fullCopy := 2 * cycles.Micros(costs.Memcpy(ioBytes)+costs.Pollution(ioBytes))
+		fmt.Printf("%d x %d KiB misaligned SSD reads via the hybrid path\n", numIOs, ioBytes/1024)
+		fmt.Printf("  hybrid maps:             %d (of %d total maps)\n", st.HybridMaps, st.Maps)
+		fmt.Printf("  bytes copied per I/O:    %d (head+tail only, of %d)\n",
+			st.BytesCopied/uint64(st.Maps), ioBytes)
+		fmt.Printf("  CPU per I/O:             %.2f us\n", perIO)
+		fmt.Printf("  full-copy alternative:   %.2f us of memcpy alone per I/O\n", fullCopy)
+		fmt.Printf("  IOTLB invalidations:     %d (one per unmap -- affordable at SSD rates)\n",
+			u.Queue.Submitted)
+		fmt.Printf("  at 850K IOPS this spends %.1f%% of a core on invalidation vs %.1f%% copying\n",
+			100*850_000*cycles.Micros(costs.IOTLBInvalidateHW)/1e6,
+			100*850_000*fullCopy/1e6)
+	})
+	eng.Run(1 << 40)
+	eng.Stop()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// expected encodes the paper's Table 1 security columns.
+var expected = map[string]struct {
+	subPageLeak  bool
+	windowWrite  bool
+	arbitrary    bool
+	closesWindow bool
+}{
+	bench.SysNoIOMMU:        {subPageLeak: true, windowWrite: true, arbitrary: true, closesWindow: false},
+	bench.SysLinuxStrict:    {subPageLeak: true, windowWrite: false, arbitrary: false, closesWindow: true},
+	bench.SysLinuxDefer:     {subPageLeak: true, windowWrite: true, arbitrary: false, closesWindow: true},
+	bench.SysIdentityStrict: {subPageLeak: true, windowWrite: false, arbitrary: false, closesWindow: true},
+	bench.SysIdentityDefer:  {subPageLeak: true, windowWrite: true, arbitrary: false, closesWindow: true},
+	bench.SysCopy:           {subPageLeak: false, windowWrite: false, arbitrary: false, closesWindow: true},
+	// Related work (§7): SWIOTLB copies like the paper's design but the
+	// device is unconstrained (passthrough), so arbitrary DMA succeeds —
+	// "no protection from DMA attacks". Its copying does keep the
+	// specific replayed-IOVA write inside the bounce arena.
+	bench.SysSWIOTLB: {subPageLeak: false, windowWrite: false, arbitrary: true, closesWindow: true},
+	// Self-invalidating hardware: page-granular (leaks sub-page data)
+	// with a window bounded by the TTL — still open at the ~12us probe
+	// point, hence windowWrite true and "closed after flush" false (no
+	// software flush exists; see TestSelfInvalWindowClosesAtTTL).
+	bench.SysSelfInval: {subPageLeak: true, windowWrite: true, arbitrary: false, closesWindow: false},
+}
+
+func TestAttackMatrixMatchesTable1(t *testing.T) {
+	for sys, want := range expected {
+		out, err := Run(sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if out.SubPageLeak != want.subPageLeak {
+			t.Errorf("%s: sub-page leak = %v, want %v", sys, out.SubPageLeak, want.subPageLeak)
+		}
+		if out.WindowWrite != want.windowWrite {
+			t.Errorf("%s: window write = %v, want %v", sys, out.WindowWrite, want.windowWrite)
+		}
+		if out.ArbitraryRead != want.arbitrary {
+			t.Errorf("%s: arbitrary read = %v, want %v", sys, out.ArbitraryRead, want.arbitrary)
+		}
+		if out.WindowClosedAfterFlush != want.closesWindow {
+			t.Errorf("%s: window closed after flush = %v, want %v", sys, out.WindowClosedAfterFlush, want.closesWindow)
+		}
+	}
+}
+
+func TestSelfInvalWindowClosesAtTTL(t *testing.T) {
+	// The Basu et al. hardware bounds the replay window to the entry TTL
+	// (default 20us here): a 10us replay lands, a 100us replay faults —
+	// without any software invalidation.
+	samples, err := WindowSweep(bench.SysSelfInval, []float64{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samples[0].Landed {
+		t.Error("10us replay should land (inside TTL)")
+	}
+	if samples[1].Landed || samples[2].Landed {
+		t.Error("replays past the TTL must fault")
+	}
+}
+
+func TestDeferredWindowSweepClosesAtTimer(t *testing.T) {
+	// Paper §3: deferred buffers stay accessible for up to 10ms.
+	samples, err := WindowSweep(bench.SysLinuxDefer, []float64{10, 9000, 11000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samples[0].Landed || !samples[1].Landed {
+		t.Error("replays before the 10ms flush should land")
+	}
+	if samples[2].Landed {
+		t.Error("replay after the 10ms timer flush must fault")
+	}
+}
+
+func TestOnlyCopyIsFullySecure(t *testing.T) {
+	out, err := Run(bench.SysCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SubPageLeak || out.WindowWrite || out.ArbitraryRead {
+		t.Errorf("copy must block every attack: %+v", out)
+	}
+	if len(out.LeakedBytes) != 0 {
+		t.Error("copy leaked bytes")
+	}
+	// Every attack attempt against copy should have faulted or landed in
+	// quarantined shadow memory; the arbitrary scan must fault.
+	if out.Faults == 0 {
+		t.Error("expected at least the arbitrary-scan fault to be recorded")
+	}
+}
+
+func TestTable1CopyIsTheOnlyAllYesRow(t *testing.T) {
+	rows, table, err := Table1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(bench.AllSystems) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	allYes := 0
+	for _, r := range rows {
+		ok := r.SubPageProtect && r.NoVulnWindow && r.SingleCorePerf && r.MultiCorePerf
+		if ok {
+			allYes++
+			if r.System != bench.SysCopy {
+				t.Errorf("%s unexpectedly passes every column", r.System)
+			}
+		}
+		if r.System == bench.SysCopy && !ok {
+			t.Errorf("copy must pass every Table 1 column: %+v", r)
+		}
+		// Strict designs close the window; deferred ones do not.
+		switch r.System {
+		case bench.SysIdentityStrict, bench.SysLinuxStrict:
+			if !r.NoVulnWindow || r.MultiCorePerf {
+				t.Errorf("%s: want window closed + multicore collapse: %+v", r.System, r)
+			}
+		case bench.SysIdentityDefer, bench.SysLinuxDefer:
+			if r.NoVulnWindow || r.SubPageProtect {
+				t.Errorf("%s: deferred page-granular design misclassified: %+v", r.System, r)
+			}
+		}
+	}
+	if allYes != 1 {
+		t.Errorf("exactly one all-yes row expected (copy), got %d", allYes)
+	}
+	if len(table.Rows) != len(rows) {
+		t.Error("rendered table row count mismatch")
+	}
+}
+
+func TestNoIOMMUIsDefenseless(t *testing.T) {
+	out, err := Run(bench.SysNoIOMMU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SubPageLeak || !out.WindowWrite || !out.ArbitraryRead {
+		t.Errorf("no-iommu must fail every attack: %+v", out)
+	}
+	if string(out.LeakedBytes) != string(secret) {
+		t.Errorf("leak should recover the exact secret, got %q", out.LeakedBytes)
+	}
+	if out.Faults != 0 {
+		t.Errorf("no-iommu should never fault, got %d", out.Faults)
+	}
+}

@@ -1,0 +1,77 @@
+package attack
+
+import (
+	"bytes"
+
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/sim"
+)
+
+// WindowSample is one point of the vulnerability-window sweep: did a
+// device write replayed delayUs after dma_unmap reach OS memory?
+type WindowSample struct {
+	DelayUs float64
+	Landed  bool
+}
+
+// WindowSweep measures how long after dma_unmap a replayed device write
+// still lands, for a given protection strategy. Under Linux-style deferred
+// protection the window extends to the earlier of the 250-unmap batch or
+// the 10 ms timer — the paper (§3) observed that corrupting a buffer
+// within 10us of its unmap crashes Linux, and notes buffers can stay
+// accessible "for up to 10 milliseconds".
+func WindowSweep(system string, delaysUs []float64) ([]WindowSample, error) {
+	var out []WindowSample
+	for _, d := range delaysUs {
+		landed, err := windowProbe(system, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WindowSample{DelayUs: d, Landed: landed})
+	}
+	return out, nil
+}
+
+func windowProbe(system string, delayUs float64) (bool, error) {
+	mach, err := newMachine(system)
+	if err != nil {
+		return false, err
+	}
+	landed := false
+	var probeErr error
+	mach.Eng.Spawn("victim", 0, 0, func(p *sim.Proc) {
+		m := mach.Mapper
+		buf, err := mach.Kmal.Alloc(0, 1500)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		addr, err := m.Map(p, buf, dmaapi.FromDevice)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		mach.IOMMU.DMAWrite(mach.Env.Dev, addr, []byte("benign"))
+		if err := m.Unmap(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
+			probeErr = err
+			return
+		}
+		clean := []byte("reused-kernel-data")
+		if err := mach.Mem.Write(buf.Addr, clean); err != nil {
+			probeErr = err
+			return
+		}
+		p.Sleep(cycles.FromMicros(delayUs))
+		mach.IOMMU.DMAWrite(mach.Env.Dev, addr, []byte("EVIL-REPLAYED-WRITE"))
+		now, err := mach.Mem.Snapshot(buf)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		landed = !bytes.Equal(now[:len(clean)], clean)
+	})
+	mach.Eng.Run(cycles.FromMillis(delayUs/1000 + 30))
+	mach.Eng.Stop()
+	return landed, probeErr
+}

@@ -1,0 +1,90 @@
+package attack
+
+import (
+	"repro/internal/bench"
+)
+
+// Table1Row is one line of the paper's Table 1: the security properties
+// come from running the attack scenarios, the performance columns from
+// measuring RX throughput against the no-iommu baseline.
+type Table1Row struct {
+	System          string
+	SubPageProtect  bool
+	NoVulnWindow    bool
+	SingleCorePerf  bool
+	MultiCorePerf   bool
+	SingleCoreRatio float64
+	MultiCoreRatio  float64
+}
+
+// perfThreshold is the fraction of no-iommu throughput below which a
+// system is considered to have unacceptable overhead (the paper's ✗).
+const perfThreshold = 0.65
+
+// Table1 reproduces Table 1: it attacks and benchmarks every system.
+func Table1(windowMs float64) ([]Table1Row, *bench.Table, error) {
+	// Baseline throughputs.
+	base := map[int]float64{}
+	for _, cores := range []int{1, 16} {
+		cfg := bench.DefaultConfig(bench.SysNoIOMMU, bench.RX, cores, 16384)
+		cfg.WindowMs = windowMs
+		r, err := bench.Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		base[cores] = r.Gbps
+	}
+	var rows []Table1Row
+	for _, sys := range bench.AllSystems {
+		out, err := Run(sys)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Table1Row{
+			System:         sys,
+			SubPageProtect: !out.SubPageLeak && !out.ArbitraryRead,
+			NoVulnWindow:   !out.WindowWrite && !out.ArbitraryRead,
+		}
+		for _, cores := range []int{1, 16} {
+			cfg := bench.DefaultConfig(sys, bench.RX, cores, 16384)
+			cfg.WindowMs = windowMs
+			r, err := bench.Run(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			ratio := 0.0
+			if base[cores] > 0 {
+				ratio = r.Gbps / base[cores]
+			}
+			if cores == 1 {
+				row.SingleCoreRatio = ratio
+				row.SingleCorePerf = ratio >= perfThreshold
+			} else {
+				row.MultiCoreRatio = ratio
+				row.MultiCorePerf = ratio >= perfThreshold
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, renderTable1(rows), nil
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+func renderTable1(rows []Table1Row) *bench.Table {
+	t := &bench.Table{
+		Title: "Table 1: protection model comparison (security from attacks, perf from RX benchmarks)",
+		Columns: []string{"model", "sub-page protect", "no vulnerability window",
+			"single-core perf", "multi-core perf"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.System, mark(r.SubPageProtect), mark(r.NoVulnWindow),
+			mark(r.SingleCorePerf), mark(r.MultiCorePerf))
+	}
+	return t
+}

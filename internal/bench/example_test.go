@@ -1,0 +1,23 @@
+package bench_test
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+// ExampleRun measures one benchmark point: single-core receive throughput
+// under DMA shadowing.
+func ExampleRun() {
+	cfg := bench.DefaultConfig(bench.SysCopy, bench.RX, 1, 16384)
+	cfg.WindowMs = 5
+	r, err := bench.Run(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("system=%s faults=%d drops=%d saturated=%v\n",
+		r.Config.System, r.Faults, r.RxDrops, r.CPUPct > 95)
+	// Output:
+	// system=copy faults=0 drops=0 saturated=true
+}

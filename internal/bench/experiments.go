@@ -1,0 +1,334 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cycles"
+)
+
+// MessageSizes is the x-axis of Figures 3, 4, 6, 7 and 9.
+var MessageSizes = []int{64, 256, 1024, 4096, 16384, 65536}
+
+// Options tunes experiment execution (shorter windows for tests).
+type Options struct {
+	WindowMs float64
+	Sizes    []int
+	Systems  []string
+	// Costs overrides the cost model (e.g. loaded from JSON); nil uses
+	// the paper-calibrated defaults.
+	Costs *cycles.Costs
+}
+
+// applyTo copies the option overrides into a run config.
+func (o Options) applyTo(cfg *Config) {
+	cfg.WindowMs = o.window()
+	if o.Costs != nil {
+		c := *o.Costs
+		cfg.Costs = &c
+	}
+}
+
+func (o Options) window() float64 {
+	if o.WindowMs <= 0 {
+		return 20
+	}
+	return o.WindowMs
+}
+
+func (o Options) sizes() []int {
+	if len(o.Sizes) == 0 {
+		return MessageSizes
+	}
+	return o.Sizes
+}
+
+func (o Options) systems() []string {
+	if len(o.Systems) == 0 {
+		return FigureSystems
+	}
+	return o.Systems
+}
+
+// StreamSweep runs a STREAM experiment over (system, size) and returns the
+// results keyed [system][size]. Data points are independent simulations,
+// so they run concurrently (each on its own engine); results are still
+// fully deterministic per point.
+func StreamSweep(dir Direction, cores int, opt Options) (map[string]map[int]Result, error) {
+	type point struct {
+		sys string
+		sz  int
+	}
+	var pts []point
+	out := make(map[string]map[int]Result)
+	for _, sys := range opt.systems() {
+		out[sys] = make(map[int]Result)
+		for _, sz := range opt.sizes() {
+			pts = append(pts, point{sys, sz})
+		}
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, pt := range pts {
+		pt := pt
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			cfg := DefaultConfig(pt.sys, dir, cores, pt.sz)
+			opt.applyTo(&cfg)
+			r, err := Run(cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s/%d: %w", pt.sys, dir, pt.sz, err)
+				return
+			}
+			out[pt.sys][pt.sz] = r
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// streamTable renders a sweep in the paper's four-panel form (throughput,
+// relative throughput, CPU, relative CPU), one row per message size.
+func streamTable(title string, results map[string]map[int]Result, opt Options) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"msg"},
+	}
+	systems := opt.systems()
+	for _, s := range systems {
+		t.Columns = append(t.Columns, s+" Gb/s")
+	}
+	for _, s := range systems {
+		t.Columns = append(t.Columns, s+" rel")
+	}
+	for _, s := range systems {
+		t.Columns = append(t.Columns, s+" cpu%")
+	}
+	for _, sz := range opt.sizes() {
+		base := results[SysNoIOMMU][sz]
+		row := []string{sizeLabel(sz)}
+		for _, s := range systems {
+			row = append(row, f2(results[s][sz].Gbps))
+		}
+		for _, s := range systems {
+			rel := 0.0
+			if base.Gbps > 0 {
+				rel = results[s][sz].Gbps / base.Gbps
+			}
+			row = append(row, f2(rel))
+		}
+		for _, s := range systems {
+			row = append(row, f1(results[s][sz].CPUPct))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig1 reproduces Figure 1: single- vs 16-core RX throughput of all six
+// systems with MSS-sized (1500 B) packets.
+func Fig1(opt Options) (*Table, error) {
+	if len(opt.Systems) == 0 {
+		opt.Systems = AllSystems
+	}
+	t := &Table{
+		Title:   "Figure 1: IOMMU-based OS protection cost (TCP RX, 1500B packets, Gb/s)",
+		Columns: []string{"system", "1 core", "16 cores"},
+	}
+	for _, sys := range opt.systems() {
+		row := []string{sys}
+		for _, cores := range []int{1, 16} {
+			cfg := DefaultConfig(sys, RX, cores, 16384)
+			opt.applyTo(&cfg)
+			r, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(r.Gbps))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig3 reproduces Figure 3: single-core TCP receive.
+func Fig3(opt Options) (*Table, error) {
+	res, err := StreamSweep(RX, 1, opt)
+	if err != nil {
+		return nil, err
+	}
+	return streamTable("Figure 3: single-core TCP receive (RX)", res, opt), nil
+}
+
+// Fig4 reproduces Figure 4: single-core TCP transmit.
+func Fig4(opt Options) (*Table, error) {
+	res, err := StreamSweep(TX, 1, opt)
+	if err != nil {
+		return nil, err
+	}
+	return streamTable("Figure 4: single-core TCP transmit (TX)", res, opt), nil
+}
+
+// Fig6 reproduces Figure 6: 16-core TCP receive.
+func Fig6(opt Options) (*Table, error) {
+	res, err := StreamSweep(RX, 16, opt)
+	if err != nil {
+		return nil, err
+	}
+	return streamTable("Figure 6: 16-core TCP receive (RX)", res, opt), nil
+}
+
+// Fig7 reproduces Figure 7: 16-core TCP transmit.
+func Fig7(opt Options) (*Table, error) {
+	res, err := StreamSweep(TX, 16, opt)
+	if err != nil {
+		return nil, err
+	}
+	return streamTable("Figure 7: 16-core TCP transmit (TX)", res, opt), nil
+}
+
+// Breakdown reproduces Figures 5 and 8: the average per-DMA-operation
+// processing-time breakdown (microseconds) at 64 KiB messages.
+func Breakdown(dir Direction, cores int, opt Options) (*Table, map[string]Result, error) {
+	opt.Sizes = []int{65536}
+	res, err := StreamSweep(dir, cores, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	fig := "Figure 5"
+	if cores > 1 {
+		fig = "Figure 8"
+	}
+	t := &Table{
+		Title: fmt.Sprintf("%s%s: per-packet time breakdown, %d-core %s, 64KB messages (us)",
+			fig, map[Direction]string{RX: "a", TX: "b"}[dir], cores, dir),
+		Columns: append([]string{"component"}, opt.systems()...),
+	}
+	flat := make(map[string]Result)
+	for _, s := range opt.systems() {
+		flat[s] = res[s][65536]
+	}
+	for _, comp := range cycles.Components {
+		row := []string{comp}
+		for _, s := range opt.systems() {
+			row = append(row, f2(flat[s].PerOp[comp]))
+		}
+		t.AddRow(row...)
+	}
+	total := []string{"TOTAL"}
+	tput := []string{"throughput Gb/s"}
+	for _, s := range opt.systems() {
+		sum := 0.0
+		for _, v := range flat[s].PerOp {
+			sum += v
+		}
+		total = append(total, f2(sum))
+		tput = append(tput, f2(flat[s].Gbps))
+	}
+	t.AddRow(total...)
+	t.AddRow(tput...)
+	return t, flat, nil
+}
+
+// Fig9 reproduces Figure 9: TCP request/response latency and CPU.
+func Fig9(opt Options) (*Table, map[string]map[int]Result, error) {
+	res, err := StreamSweep(RR, 1, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:   "Figure 9: TCP latency (single-core netperf request/response)",
+		Columns: []string{"msg"},
+	}
+	for _, s := range opt.systems() {
+		t.Columns = append(t.Columns, s+" us")
+	}
+	for _, s := range opt.systems() {
+		t.Columns = append(t.Columns, s+" p99")
+	}
+	for _, s := range opt.systems() {
+		t.Columns = append(t.Columns, s+" cpu%")
+	}
+	for _, sz := range opt.sizes() {
+		row := []string{sizeLabel(sz)}
+		for _, s := range opt.systems() {
+			row = append(row, f1(res[s][sz].LatencyUs))
+		}
+		for _, s := range opt.systems() {
+			row = append(row, f1(res[s][sz].LatencyP99Us))
+		}
+		for _, s := range opt.systems() {
+			row = append(row, f1(res[s][sz].CPUPct))
+		}
+		t.AddRow(row...)
+	}
+	return t, res, nil
+}
+
+// Fig10 reproduces Figure 10: the RR CPU-utilization breakdown at 64 KiB.
+func Fig10(opt Options) (*Table, error) {
+	opt.Sizes = []int{65536}
+	_, res, err := Fig9(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 10: single-core TCP RR CPU utilization breakdown (64KB messages, % of core)",
+		Columns: append([]string{"component"}, opt.systems()...),
+	}
+	window := cycles.FromMillis(opt.window())
+	for _, comp := range cycles.Components {
+		row := []string{comp}
+		for _, s := range opt.systems() {
+			r := res[s][65536]
+			// PerOp is us per transaction; convert to % of the core.
+			pct := r.PerOp[comp] * float64(r.Ops) / cycles.Micros(window) * 100
+			row = append(row, f1(pct))
+		}
+		t.AddRow(row...)
+	}
+	cpu := []string{"TOTAL cpu%"}
+	lat := []string{"latency us"}
+	for _, s := range opt.systems() {
+		cpu = append(cpu, f1(res[s][65536].CPUPct))
+		lat = append(lat, f1(res[s][65536].LatencyUs))
+	}
+	t.AddRow(cpu...)
+	t.AddRow(lat...)
+	return t, nil
+}
+
+// MemoryConsumption reproduces the §6 measurement: shadow pool footprint
+// under the 16-core RX and TX workloads, against the worst-case bound.
+func MemoryConsumption(opt Options) (*Table, error) {
+	t := &Table{
+		Title:   "Memory consumption (paper §6): shadow DMA buffer footprint",
+		Columns: []string{"workload", "pool bytes", "pool MB", "in-flight buffers"},
+	}
+	for _, dir := range []Direction{RX, TX} {
+		cfg := DefaultConfig(SysCopy, dir, 16, 65536)
+		opt.applyTo(&cfg)
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("16-core %s 64KB", dir),
+			fmt.Sprintf("%d", r.PoolBytes),
+			f2(float64(r.PoolBytes)/(1<<20)),
+			fmt.Sprintf("%d", r.MapperStats.ShadowPoolBuffers))
+	}
+	t.Note = "worst case bound (paper): 2 NUMA domains x (16K x 4KB + 16K x 64KB) = 2.1 GB"
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/kv"
+	"repro/internal/sim"
+)
+
+// KVResult is the outcome of one memcached run.
+type KVResult struct {
+	System         string
+	TransactionsPS float64
+	CPUPct         float64
+	GetPct         float64
+	Errors         uint64
+}
+
+// RunMemcached reproduces one bar of Figure 11: 16 memcached instances
+// (one per core) under memslap load (64 B keys, 1 KiB values, 90%/10%
+// GET/SET), reporting aggregated transaction throughput and CPU.
+func RunMemcached(system string, cores int, windowMs float64) (KVResult, error) {
+	cfg := DefaultConfig(system, RX, cores, 1024)
+	cfg.WindowMs = windowMs
+	mach, err := NewMachine(cfg)
+	if err != nil {
+		return KVResult{}, err
+	}
+	scfg := kv.DefaultServerConfig()
+	ccfg := kv.DefaultClientConfig()
+	stores := make([]*kv.Store, cores)
+	stats := make([]kv.ServerStats, cores)
+	clients := make([]*kv.Client, cores)
+	var procs []*sim.Proc
+	var runErr error
+	for c := 0; c < cores; c++ {
+		c := c
+		stores[c] = kv.NewStore(mach.Mem, mach.Kmal)
+		if err := kv.Prepopulate(stores[c], mach.Env.DomainOfCore(c), scfg); err != nil {
+			return KVResult{}, err
+		}
+		pr := mach.Eng.Spawn(fmt.Sprintf("memcached%d", c), c, 0, func(p *sim.Proc) {
+			if err := kv.RunServer(p, mach.Driver, stores[c], c, scfg, &stats[c]); err != nil {
+				runErr = err
+			}
+		})
+		procs = append(procs, pr)
+		clients[c] = kv.NewClient(mach.Eng, mach.NIC, c, cfg.Costs, ccfg)
+		clients[c].Start(cycles.FromMicros(200))
+	}
+	window := cycles.FromMillis(windowMs)
+	mach.Eng.Run(window)
+	var busy uint64
+	for _, p := range procs {
+		busy += p.Busy()
+	}
+	mach.Eng.Stop()
+	if runErr != nil {
+		return KVResult{}, runErr
+	}
+	var tx, gets, sets, errors uint64
+	for c := 0; c < cores; c++ {
+		tx += clients[c].Transactions
+		gets += clients[c].Gets
+		sets += clients[c].Sets
+		errors += stats[c].Errors
+	}
+	res := KVResult{
+		System:         system,
+		TransactionsPS: cycles.PerSec(tx, window),
+		CPUPct:         100 * float64(busy) / (float64(window) * float64(cores)),
+		Errors:         errors,
+	}
+	if gets+sets > 0 {
+		res.GetPct = 100 * float64(gets) / float64(gets+sets)
+	}
+	return res, nil
+}
+
+// Fig11 reproduces Figure 11 across the four systems.
+func Fig11(opt Options) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 11: memcached aggregated throughput (16 instances, memslap 90/10 GET/SET)",
+		Columns: []string{"system", "Mtx/s", "cpu%"},
+	}
+	for _, sys := range opt.systems() {
+		r, err := RunMemcached(sys, 16, opt.window())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sys, fmt.Sprintf("%.2f", r.TransactionsPS/1e6), f1(r.CPUPct))
+	}
+	return t, nil
+}

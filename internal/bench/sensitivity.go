@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+)
+
+// Sensitivity analysis: the reproduction's conclusions come from a cost
+// model fit to the paper's published microcosts, so we verify that the
+// paper's qualitative claims are robust to calibration error — each key
+// constant is perturbed by ±25% and the claims re-evaluated. A claim that
+// flips under a small perturbation would mean the reproduction's shape
+// depends on a lucky constant rather than on the design.
+
+// Claim is a machine-checkable qualitative statement from the paper.
+type Claim struct {
+	Name string
+	// Holds evaluates the claim from the four-system measurements at
+	// single-core and 16-core RX.
+	Holds func(single, multi map[string]Result) bool
+}
+
+// PaperClaims are the headline statements the sensitivity analysis guards.
+var PaperClaims = []Claim{
+	{
+		Name: "copy beats identity- (1 core)",
+		Holds: func(s, _ map[string]Result) bool {
+			return s[SysCopy].Gbps >= s[SysIdentityDefer].Gbps*0.98
+		},
+	},
+	{
+		Name: "copy >= 0.65x no-iommu (1 core)",
+		Holds: func(s, _ map[string]Result) bool {
+			return s[SysCopy].Gbps >= s[SysNoIOMMU].Gbps*0.65
+		},
+	},
+	{
+		Name: "copy >= 1.5x identity+ (1 core)",
+		Holds: func(s, _ map[string]Result) bool {
+			return s[SysCopy].Gbps >= s[SysIdentityStrict].Gbps*1.5
+		},
+	},
+	{
+		Name: "identity+ collapses (16 cores)",
+		Holds: func(_, m map[string]Result) bool {
+			return m[SysIdentityStrict].Gbps <= m[SysCopy].Gbps*0.5
+		},
+	},
+	{
+		Name: "copy holds wire rate (16 cores)",
+		Holds: func(_, m map[string]Result) bool {
+			return m[SysCopy].Gbps >= m[SysNoIOMMU].Gbps*0.95
+		},
+	},
+}
+
+// Perturbation scales one cost-model constant.
+type Perturbation struct {
+	Name  string
+	Apply func(c *cycles.Costs, scale float64)
+}
+
+// Perturbations are the constants most likely to carry calibration error.
+var Perturbations = []Perturbation{
+	{"iotlb invalidation", func(c *cycles.Costs, s float64) {
+		c.IOTLBInvalidateHW = uint64(float64(c.IOTLBInvalidateHW) * s)
+	}},
+	{"memcpy per byte", func(c *cycles.Costs, s float64) {
+		c.MemcpyPerByte = uint64(float64(c.MemcpyPerByte) * s)
+	}},
+	{"lock contention", func(c *cycles.Costs, s float64) {
+		c.LockHandoffPerWaiter = uint64(float64(c.LockHandoffPerWaiter) * s)
+		c.LockHandoffBase = uint64(float64(c.LockHandoffBase) * s)
+	}},
+	{"page table mgmt", func(c *cycles.Costs, s float64) {
+		c.PTMap = uint64(float64(c.PTMap) * s)
+		c.PTUnmap = uint64(float64(c.PTUnmap) * s)
+	}},
+	{"baseline pkt cost", func(c *cycles.Costs, s float64) {
+		c.PktOther = uint64(float64(c.PktOther) * s)
+		c.PktPerByte = uint64(float64(c.PktPerByte) * s)
+	}},
+}
+
+// SensitivityScales are the perturbation factors applied to each constant.
+var SensitivityScales = []float64{0.75, 1.25}
+
+// runClaimSet measures the four figure systems at 1 and 16 cores under a
+// given cost model.
+func runClaimSet(costs *cycles.Costs, windowMs float64) (single, multi map[string]Result, err error) {
+	single = make(map[string]Result)
+	multi = make(map[string]Result)
+	for _, sys := range FigureSystems {
+		for _, cores := range []int{1, 16} {
+			cfg := DefaultConfig(sys, RX, cores, 16384)
+			cfg.WindowMs = windowMs
+			c := *costs
+			cfg.Costs = &c
+			r, e := Run(cfg)
+			if e != nil {
+				return nil, nil, e
+			}
+			if cores == 1 {
+				single[sys] = r
+			} else {
+				multi[sys] = r
+			}
+		}
+	}
+	return single, multi, nil
+}
+
+// Sensitivity evaluates every paper claim under every perturbation,
+// returning the robustness matrix and the number of claim violations.
+func Sensitivity(opt Options) (*Table, int, error) {
+	t := &Table{
+		Title:   "Sensitivity analysis: paper claims under +/-25% cost-model perturbation",
+		Columns: []string{"perturbation", "scale"},
+	}
+	for _, c := range PaperClaims {
+		t.Columns = append(t.Columns, c.Name)
+	}
+	violations := 0
+	addRow := func(name string, scale float64, costs *cycles.Costs) error {
+		single, multi, err := runClaimSet(costs, opt.window())
+		if err != nil {
+			return err
+		}
+		row := []string{name, fmt.Sprintf("%.2f", scale)}
+		for _, c := range PaperClaims {
+			if c.Holds(single, multi) {
+				row = append(row, "holds")
+			} else {
+				row = append(row, "FLIPS")
+				violations++
+			}
+		}
+		t.AddRow(row...)
+		return nil
+	}
+	if err := addRow("(baseline)", 1.0, cycles.Default()); err != nil {
+		return nil, 0, err
+	}
+	for _, pert := range Perturbations {
+		for _, scale := range SensitivityScales {
+			costs := cycles.Default()
+			pert.Apply(costs, scale)
+			if err := addRow(pert.Name, scale, costs); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return t, violations, nil
+}

@@ -1,0 +1,278 @@
+// Package conformance differentially tests every DMA-protection strategy
+// against the same randomized benign driver workload: whatever the
+// protection model, the DMA API contract must produce identical functional
+// outcomes (device reads see mapped data, device writes appear in the OS
+// buffer after unmap, benign DMAs never fault). This pins down the
+// transparency property the paper's design depends on (§5.1): drivers
+// cannot tell the strategies apart.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+var systems = []string{
+	"no iommu", "copy", "identity-", "identity+", "strict", "defer",
+	"swiotlb", "selfinval",
+}
+
+func newMapper(t *testing.T, name string, env *dmaapi.Env) dmaapi.Mapper {
+	t.Helper()
+	switch name {
+	case "no iommu":
+		return dmaapi.NewNoIOMMU(env)
+	case "copy":
+		m, err := core.NewShadowMapper(env) // no hint: full-fidelity copies
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	case "identity-":
+		return dmaapi.NewIdentity(env, true)
+	case "identity+":
+		return dmaapi.NewIdentity(env, false)
+	case "strict":
+		return dmaapi.NewLinux(env, false)
+	case "defer":
+		return dmaapi.NewLinux(env, true)
+	case "swiotlb":
+		return dmaapi.NewSWIOTLB(env)
+	case "selfinval":
+		return dmaapi.NewSelfInval(env, cycles.FromMillis(50))
+	}
+	t.Fatalf("unknown system %s", name)
+	return nil
+}
+
+type mapping struct {
+	addr    iommu.IOVA
+	buf     mem.Buf
+	dir     dmaapi.Dir
+	orig    []byte // OS buffer content at map time
+	written []byte // device-written content (FromDevice/Bidirectional)
+}
+
+func TestAllMappersFunctionallyEquivalent(t *testing.T) {
+	for _, sys := range systems {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", sys, seed), func(t *testing.T) {
+				runWorkload(t, sys, seed)
+			})
+		}
+	}
+}
+
+func runWorkload(t *testing.T, sys string, seed int64) {
+	eng := sim.NewEngine()
+	m := mem.New(2)
+	u := iommu.New(eng, m, cycles.Default())
+	env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: cycles.Default(), Dev: 1, Cores: 2}
+	mapper := newMapper(t, sys, env)
+	k := mem.NewKmalloc(m, nil)
+	rng := rand.New(rand.NewSource(seed))
+
+	dirs := []dmaapi.Dir{dmaapi.ToDevice, dmaapi.FromDevice, dmaapi.Bidirectional}
+	eng.Spawn("driver", 0, 0, func(p *sim.Proc) {
+		var live []*mapping
+		unmapOne := func(i int) {
+			mp := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := mapper.Unmap(p, mp.addr, mp.buf.Size, mp.dir); err != nil {
+				t.Errorf("unmap: %v", err)
+				return
+			}
+			snap, err := m.Snapshot(mp.buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			switch mp.dir {
+			case dmaapi.ToDevice:
+				// The CPU-side buffer must be untouched.
+				if !bytes.Equal(snap, mp.orig) {
+					t.Errorf("ToDevice buffer modified across map/unmap")
+				}
+			case dmaapi.FromDevice, dmaapi.Bidirectional:
+				want := append([]byte{}, mp.orig...)
+				copy(want, mp.written)
+				if mp.written != nil && !bytes.Equal(snap[:len(mp.written)], mp.written) {
+					t.Errorf("device-written data missing after unmap (dir %v)", mp.dir)
+				}
+				_ = want
+			}
+		}
+		for op := 0; op < 250; op++ {
+			if len(live) > 0 && (len(live) >= 12 || rng.Intn(100) < 40) {
+				unmapOne(rng.Intn(len(live)))
+				continue
+			}
+			size := 1 + rng.Intn(64*1024-1)
+			buf, err := k.Alloc(rng.Intn(2), size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := make([]byte, size)
+			rng.Read(orig)
+			if err := m.Write(buf.Addr, orig); err != nil {
+				t.Fatal(err)
+			}
+			dir := dirs[rng.Intn(len(dirs))]
+			addr, err := mapper.Map(p, buf, dir)
+			if err != nil {
+				t.Fatalf("map(%d bytes, %v): %v", size, dir, err)
+			}
+			mp := &mapping{addr: addr, buf: buf, dir: dir, orig: orig}
+			// Exercise the device side.
+			if dir == dmaapi.ToDevice || dir == dmaapi.Bidirectional {
+				got := make([]byte, size)
+				res := u.DMARead(1, addr, got)
+				if res.Fault != nil {
+					t.Fatalf("benign device read faulted: %v", res.Fault)
+				}
+				if !bytes.Equal(got, orig) {
+					t.Fatalf("device read wrong data (dir %v size %d)", dir, size)
+				}
+			}
+			if dir == dmaapi.FromDevice || dir == dmaapi.Bidirectional {
+				n := 1 + rng.Intn(size)
+				payload := make([]byte, n)
+				rng.Read(payload)
+				res := u.DMAWrite(1, addr, payload)
+				if res.Fault != nil {
+					t.Fatalf("benign device write faulted: %v", res.Fault)
+				}
+				mp.written = payload
+				// dma_sync_single_for_cpu mid-mapping: every strategy
+				// must make the device's writes CPU-visible.
+				if rng.Intn(100) < 30 {
+					if err := mapper.SyncForCPU(p, addr, size, dir); err != nil {
+						t.Fatalf("sync_for_cpu: %v", err)
+					}
+					snap, err := m.Snapshot(mem.Buf{Addr: buf.Addr, Size: n})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(snap, payload) {
+						t.Fatalf("sync_for_cpu did not expose device writes (%s, %d bytes)", sys, n)
+					}
+				}
+			}
+			live = append(live, mp)
+			p.Work("think", uint64(rng.Intn(2000)))
+		}
+		for len(live) > 0 {
+			unmapOne(len(live) - 1)
+		}
+		mapper.Quiesce(p)
+
+		// Scatter/gather path, same contract.
+		bufs := make([]mem.Buf, 3)
+		conts := make([][]byte, 3)
+		for i := range bufs {
+			b, err := k.Alloc(0, 256+rng.Intn(2048))
+			if err != nil {
+				t.Fatal(err)
+			}
+			conts[i] = make([]byte, b.Size)
+			rng.Read(conts[i])
+			m.Write(b.Addr, conts[i])
+			bufs[i] = b
+		}
+		addrs, err := mapper.MapSG(p, bufs, dmaapi.ToDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range addrs {
+			got := make([]byte, bufs[i].Size)
+			if res := u.DMARead(1, a, got); res.Fault != nil || !bytes.Equal(got, conts[i]) {
+				t.Errorf("SG element %d wrong through %s", i, sys)
+			}
+		}
+		sizes := []int{bufs[0].Size, bufs[1].Size, bufs[2].Size}
+		if err := mapper.UnmapSG(p, addrs, sizes, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+
+		// Coherent path, same contract.
+		caddr, cbuf, err := mapper.AllocCoherent(p, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := u.DMAWrite(1, caddr, []byte("ring-entry")); res.Fault != nil {
+			t.Errorf("coherent write faulted: %v", res.Fault)
+		}
+		snap := make([]byte, 10)
+		m.Read(cbuf.Addr, snap)
+		if string(snap) != "ring-entry" {
+			t.Error("coherent buffer not shared")
+		}
+		if err := mapper.FreeCoherent(p, caddr, cbuf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run(1 << 50)
+	eng.Stop()
+}
+
+// TestUnmappedIOVAsEventuallyProtected verifies the end-state security
+// contract that all IOMMU-backed strategies share: once all mappings are
+// released, flushed and (for selfinval) expired, none of the previously
+// used IOVAs may accept a device write to OS-visible memory.
+func TestUnmappedIOVAsEventuallyProtected(t *testing.T) {
+	for _, sys := range systems {
+		if sys == "no iommu" || sys == "swiotlb" {
+			continue // these provide no containment by design
+		}
+		t.Run(sys, func(t *testing.T) {
+			eng := sim.NewEngine()
+			m := mem.New(1)
+			u := iommu.New(eng, m, cycles.Default())
+			env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: cycles.Default(), Dev: 1, Cores: 1}
+			mapper := newMapper(t, sys, env)
+			k := mem.NewKmalloc(m, nil)
+			eng.Spawn("driver", 0, 0, func(p *sim.Proc) {
+				var addrs []iommu.IOVA
+				var bufs []mem.Buf
+				for i := 0; i < 20; i++ {
+					b, _ := k.Alloc(0, 1500)
+					a, err := mapper.Map(p, b, dmaapi.FromDevice)
+					if err != nil {
+						t.Fatal(err)
+					}
+					u.DMAWrite(1, a, []byte("benign"))
+					addrs = append(addrs, a)
+					bufs = append(bufs, b)
+				}
+				for i, a := range addrs {
+					if err := mapper.Unmap(p, a, bufs[i].Size, dmaapi.FromDevice); err != nil {
+						t.Fatal(err)
+					}
+				}
+				mapper.Quiesce(p)
+				p.Sleep(cycles.FromMillis(60)) // past TTLs and hw drains
+				for i, a := range addrs {
+					before, _ := m.Snapshot(bufs[i])
+					u.DMAWrite(1, a, []byte("EVIL"))
+					after, _ := m.Snapshot(bufs[i])
+					if !bytes.Equal(before, after) {
+						t.Errorf("stale IOVA %#x still reaches OS memory under %s", uint64(a), sys)
+						return
+					}
+				}
+			})
+			eng.Run(1 << 50)
+			eng.Stop()
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Coherent allocations (descriptor rings, mailboxes) use "the standard DMA
+// API implementation with strict protection" (paper §5.2): they are
+// infrequent, page-granular by construction (so already byte-safe), and
+// shared intentionally between CPU and device.
+
+// AllocCoherent implements dmaapi.Mapper.
+func (s *ShadowMapper) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf, error) {
+	if size <= 0 {
+		return 0, mem.Buf{}, fmt.Errorf("copy: coherent alloc of %d bytes", size)
+	}
+	env := s.env
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	domain := env.DomainOfCore(p.Core())
+	phys, err := env.Mem.AllocPages(domain, pages)
+	if err != nil {
+		return 0, mem.Buf{}, err
+	}
+	p.Charge(cycles.TagIOVA, env.Costs.MagazineAlloc)
+	base, err := s.extAlloc.Alloc(p.Core(), pages)
+	if err != nil {
+		return 0, mem.Buf{}, err
+	}
+	p.Charge(cycles.TagPTMgmt, env.Costs.PTMap+env.Costs.PTPerPage*uint64(pages-1))
+	if err := env.IOMMU.Map(env.Dev, base, phys, pages*mem.PageSize, iommu.PermRW); err != nil {
+		return 0, mem.Buf{}, err
+	}
+	s.stats.CoherentAllocs++
+	return base, mem.Buf{Addr: phys, Size: size}, nil
+}
+
+// FreeCoherent implements dmaapi.Mapper, strictly invalidating.
+func (s *ShadowMapper) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) error {
+	env := s.env
+	pages := (buf.Size + mem.PageSize - 1) / mem.PageSize
+	p.Charge(cycles.TagPTMgmt, env.Costs.PTUnmap)
+	if err := env.IOMMU.Unmap(env.Dev, addr, pages*mem.PageSize); err != nil {
+		return err
+	}
+	q := env.IOMMU.Queue
+	q.Lock.Lock(p)
+	done := q.SubmitPages(p, env.Dev, addr.Page(), uint64(pages))
+	q.WaitFor(p, done)
+	q.Lock.Unlock(p)
+	if err := s.extAlloc.Free(p.Core(), addr, pages); err != nil {
+		return err
+	}
+	return env.Mem.FreePages(buf.Addr, pages)
+}

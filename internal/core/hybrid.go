@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Huge-buffer hybrid (paper §5.5): copying a buffer much larger than the
+// largest shadow class would cost more than an IOTLB invalidation, but huge
+// buffers have low map/unmap rates, so zero-copy with strict invalidation
+// is affordable. To keep byte granularity, only the sub-page head and tail
+// of the OS buffer are shadowed (copied); the page-aligned middle is mapped
+// directly. The whole buffer occupies one contiguous IOVA range from the
+// external scalable allocator, so devices see a single DMA address.
+
+func (s *ShadowMapper) mapHybrid(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iommu.IOVA, error) {
+	env := s.env
+	offset := buf.Addr.Offset()
+	pages := dmaapi.PagesOf(uint64(buf.Addr), buf.Size)
+
+	headLen := 0
+	if offset != 0 {
+		headLen = mem.PageSize - offset
+	}
+	end := buf.End()
+	tailLen := end.Offset() // 0 if the buffer ends on a page boundary
+	if headLen+tailLen > buf.Size {
+		// Degenerate: can't happen for buffers > one page, which hybrid
+		// maps always are (MaxClass >= PageSize).
+		return 0, fmt.Errorf("copy: hybrid map of sub-page buffer")
+	}
+
+	p.Charge(cycles.TagIOVA, env.Costs.MagazineAlloc)
+	base, err := s.extAlloc.Alloc(p.Core(), pages)
+	if err != nil {
+		return 0, err
+	}
+	hm := &hybridMapping{base: base, osBuf: buf, dir: dir, pages: pages, headLen: headLen, tailLen: tailLen}
+
+	perm := dir.Perm()
+	dom := env.DomainOfCore(p.Core())
+	cursor := base
+	// Head: a shadow page covering the sub-page prefix, at the same
+	// in-page offset so IOVA arithmetic is seamless.
+	if headLen > 0 {
+		pg, err := s.allocShadowPage(p, dom)
+		if err != nil {
+			return 0, err
+		}
+		hm.headPage = pg
+		if err := env.IOMMU.Map(env.Dev, cursor, pg, mem.PageSize, perm); err != nil {
+			return 0, err
+		}
+		if dir != dmaapi.FromDevice {
+			if err := s.copyBytes(p, buf.Addr, pg+mem.Phys(offset), headLen); err != nil {
+				return 0, err
+			}
+		}
+		cursor += mem.PageSize
+	}
+	// Middle: zero-copy map of the whole OS pages.
+	middlePages := pages
+	if headLen > 0 {
+		middlePages--
+	}
+	if tailLen > 0 {
+		middlePages--
+	}
+	if middlePages > 0 {
+		start := buf.Addr.PageBase()
+		if headLen > 0 {
+			start += mem.PageSize
+		}
+		p.Charge(cycles.TagPTMgmt, env.Costs.PTMap+env.Costs.PTPerPage*uint64(middlePages-1))
+		if err := env.IOMMU.Map(env.Dev, cursor, start, middlePages*mem.PageSize, perm); err != nil {
+			return 0, err
+		}
+		cursor += iommu.IOVA(middlePages * mem.PageSize)
+	}
+	// Tail: a shadow page covering the sub-page suffix.
+	if tailLen > 0 {
+		pg, err := s.allocShadowPage(p, dom)
+		if err != nil {
+			return 0, err
+		}
+		hm.tailPage = pg
+		if err := env.IOMMU.Map(env.Dev, cursor, pg, mem.PageSize, perm); err != nil {
+			return 0, err
+		}
+		if dir != dmaapi.FromDevice {
+			if err := s.copyBytes(p, end-mem.Phys(tailLen), pg, tailLen); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	s.hyLock.Lock(p)
+	s.hybrids[base+iommu.IOVA(offset)] = hm
+	s.hyLock.Unlock(p)
+	s.stats.Maps++
+	s.stats.HybridMaps++
+	s.stats.BytesMapped += uint64(buf.Size)
+	return base + iommu.IOVA(offset), nil
+}
+
+func (s *ShadowMapper) unmapHybrid(p *sim.Proc, addr iommu.IOVA, size int, dir dmaapi.Dir) error {
+	env := s.env
+	s.hyLock.Lock(p)
+	hm := s.hybrids[addr]
+	delete(s.hybrids, addr)
+	s.hyLock.Unlock(p)
+	if hm == nil {
+		return fmt.Errorf("copy: hybrid unmap of unknown %#x", uint64(addr))
+	}
+	if hm.dir != dir || hm.osBuf.Size != size {
+		return fmt.Errorf("copy: hybrid unmap mismatch (dir %v size %d vs map %v %d)", dir, size, hm.dir, hm.osBuf.Size)
+	}
+	// Copy the device-written sub-page head/tail back out.
+	if dir != dmaapi.ToDevice {
+		if hm.headLen > 0 {
+			off := hm.osBuf.Addr.Offset()
+			if err := s.copyBytes(p, hm.headPage+mem.Phys(off), hm.osBuf.Addr, hm.headLen); err != nil {
+				return err
+			}
+		}
+		if hm.tailLen > 0 {
+			if err := s.copyBytes(p, hm.tailPage, hm.osBuf.End()-mem.Phys(hm.tailLen), hm.tailLen); err != nil {
+				return err
+			}
+		}
+	}
+	// Destroy the mapping: this path DOES invalidate the IOTLB (strictly),
+	// which is fine precisely because huge-buffer DMA rates are low.
+	p.Charge(cycles.TagPTMgmt, env.Costs.PTUnmap+env.Costs.PTPerPage*uint64(hm.pages-1))
+	if err := env.IOMMU.Unmap(env.Dev, hm.base, hm.pages*mem.PageSize); err != nil {
+		return err
+	}
+	q := env.IOMMU.Queue
+	q.Lock.Lock(p)
+	done := q.SubmitPages(p, env.Dev, hm.base.Page(), uint64(hm.pages))
+	q.WaitFor(p, done)
+	q.Lock.Unlock(p)
+
+	if hm.headPage != 0 {
+		s.freeShadowPage(p, hm.headPage)
+	}
+	if hm.tailPage != 0 {
+		s.freeShadowPage(p, hm.tailPage)
+	}
+	p.Charge(cycles.TagIOVA, env.Costs.MagazineAlloc)
+	if err := s.extAlloc.Free(p.Core(), hm.base, hm.pages); err != nil {
+		return err
+	}
+	s.stats.Unmaps++
+	return nil
+}
+
+// copyBytes moves n bytes between physical addresses, charging the copy.
+func (s *ShadowMapper) copyBytes(p *sim.Proc, from, to mem.Phys, n int) error {
+	data := make([]byte, n)
+	if err := s.env.Mem.Read(from, data); err != nil {
+		return err
+	}
+	if err := s.env.Mem.Write(to, data); err != nil {
+		return err
+	}
+	s.copyCost(p, n, s.env.Mem.DomainOf(from), s.env.Mem.DomainOf(to))
+	s.stats.BytesCopied += uint64(n)
+	return nil
+}
+
+// allocShadowPage takes a head/tail shadow page from the per-core cache or
+// the system.
+func (s *ShadowMapper) allocShadowPage(p *sim.Proc, domain int) (mem.Phys, error) {
+	core := p.Core()
+	if n := len(s.pageCache[core]); n > 0 {
+		pg := s.pageCache[core][n-1]
+		s.pageCache[core] = s.pageCache[core][:n-1]
+		return pg, nil
+	}
+	p.Charge(cycles.TagCopyMgmt, s.env.Costs.ShadowGrow)
+	return s.env.Mem.AllocPages(domain, 1)
+}
+
+func (s *ShadowMapper) freeShadowPage(p *sim.Proc, pg mem.Phys) {
+	core := p.Core()
+	if len(s.pageCache[core]) < 16 {
+		s.pageCache[core] = append(s.pageCache[core], pg)
+		return
+	}
+	_ = s.env.Mem.FreePages(pg, 1)
+}

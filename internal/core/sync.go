@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+)
+
+// dma_sync_single_for_cpu / for_device: partial ownership transfers on a
+// live mapping. Under DMA shadowing these are partial copies between the
+// OS buffer and its shadow buffer — the same moments the full copies
+// happen at map/unmap time (§5.2), just without releasing the shadow
+// buffer. Drivers with long-lived mappings (e.g. recycled RX buffers)
+// rely on these.
+
+// SyncForCPU implements dmaapi.Mapper: copy the device's writes out of the
+// shadow buffer, keeping the mapping live.
+func (s *ShadowMapper) SyncForCPU(p *sim.Proc, addr iommu.IOVA, size int, dir dmaapi.Dir) error {
+	if hm := s.lookupHybrid(p, addr); hm != nil {
+		return s.syncHybrid(p, hm, size, dir, true)
+	}
+	meta, err := s.pool.Find(p, addr)
+	if err != nil {
+		return err
+	}
+	osBuf := meta.OSBuf()
+	if osBuf.Size == 0 {
+		return fmt.Errorf("copy: sync of unacquired shadow %#x", uint64(addr))
+	}
+	if size > osBuf.Size {
+		return fmt.Errorf("copy: sync size %d exceeds mapping %d", size, osBuf.Size)
+	}
+	if dir == dmaapi.FromDevice || dir == dmaapi.Bidirectional {
+		return s.copyBytes(p, meta.Shadow().Addr, osBuf.Addr, size)
+	}
+	return nil
+}
+
+// SyncForDevice implements dmaapi.Mapper: refresh the shadow buffer from
+// the OS buffer, keeping the mapping live.
+func (s *ShadowMapper) SyncForDevice(p *sim.Proc, addr iommu.IOVA, size int, dir dmaapi.Dir) error {
+	if hm := s.lookupHybrid(p, addr); hm != nil {
+		return s.syncHybrid(p, hm, size, dir, false)
+	}
+	meta, err := s.pool.Find(p, addr)
+	if err != nil {
+		return err
+	}
+	osBuf := meta.OSBuf()
+	if osBuf.Size == 0 {
+		return fmt.Errorf("copy: sync of unacquired shadow %#x", uint64(addr))
+	}
+	if size > osBuf.Size {
+		return fmt.Errorf("copy: sync size %d exceeds mapping %d", size, osBuf.Size)
+	}
+	if dir == dmaapi.ToDevice || dir == dmaapi.Bidirectional {
+		return s.copyBytes(p, osBuf.Addr, meta.Shadow().Addr, size)
+	}
+	return nil
+}
+
+func (s *ShadowMapper) lookupHybrid(p *sim.Proc, addr iommu.IOVA) *hybridMapping {
+	if shadow.IsShadow(addr) {
+		return nil
+	}
+	s.hyLock.Lock(p)
+	hm := s.hybrids[addr]
+	s.hyLock.Unlock(p)
+	return hm
+}
+
+// syncHybrid refreshes the shadowed head/tail of a huge-buffer mapping;
+// the zero-copy middle needs no data movement.
+func (s *ShadowMapper) syncHybrid(p *sim.Proc, hm *hybridMapping, size int, dir dmaapi.Dir, forCPU bool) error {
+	if size > hm.osBuf.Size {
+		return fmt.Errorf("copy: hybrid sync size %d exceeds mapping %d", size, hm.osBuf.Size)
+	}
+	relevant := (forCPU && (dir == dmaapi.FromDevice || dir == dmaapi.Bidirectional)) ||
+		(!forCPU && (dir == dmaapi.ToDevice || dir == dmaapi.Bidirectional))
+	if !relevant {
+		return nil
+	}
+	off := hm.osBuf.Addr.Offset()
+	if hm.headLen > 0 {
+		shadowAt := hm.headPage + mem.Phys(off)
+		osAt := hm.osBuf.Addr
+		if forCPU {
+			if err := s.copyBytes(p, shadowAt, osAt, hm.headLen); err != nil {
+				return err
+			}
+		} else if err := s.copyBytes(p, osAt, shadowAt, hm.headLen); err != nil {
+			return err
+		}
+	}
+	if hm.tailLen > 0 {
+		shadowAt := hm.tailPage
+		osAt := hm.osBuf.End() - mem.Phys(hm.tailLen)
+		if forCPU {
+			if err := s.copyBytes(p, shadowAt, osAt, hm.tailLen); err != nil {
+				return err
+			}
+		} else if err := s.copyBytes(p, osAt, shadowAt, hm.tailLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dmaapi"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestSyncForCPUCopiesOutWithoutReleasing(t *testing.T) {
+	r := newRig(t, 1)
+	buf := r.alloc(t, 1500)
+	r.env.Mem.Fill(buf, 0xAA)
+	r.run(t, func(p *sim.Proc) {
+		addr, _ := r.s.Map(p, buf, dmaapi.FromDevice)
+		r.env.IOMMU.DMAWrite(r.env.Dev, addr, []byte("first-burst"))
+		// The driver peeks at the data mid-mapping.
+		if err := r.s.SyncForCPU(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
+			t.Fatal(err)
+		}
+		snap, _ := r.env.Mem.Snapshot(buf)
+		if !bytes.Equal(snap[:11], []byte("first-burst")) {
+			t.Error("sync_for_cpu did not copy device data out")
+		}
+		// Mapping is still live: the device keeps writing.
+		r.env.IOMMU.DMAWrite(r.env.Dev, addr, []byte("SECOND-BURST"))
+		if err := r.s.SyncForCPU(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
+			t.Fatal(err)
+		}
+		snap, _ = r.env.Mem.Snapshot(buf)
+		if !bytes.Equal(snap[:12], []byte("SECOND-BURST")) {
+			t.Error("second sync_for_cpu missed newer device data")
+		}
+		if err := r.s.Unmap(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSyncForDeviceRefreshesShadow(t *testing.T) {
+	r := newRig(t, 1)
+	buf := r.alloc(t, 1000)
+	r.env.Mem.Write(buf.Addr, []byte("version-1"))
+	r.run(t, func(p *sim.Proc) {
+		addr, _ := r.s.Map(p, buf, dmaapi.ToDevice)
+		// CPU updates the buffer mid-mapping and hands it back.
+		r.env.Mem.Write(buf.Addr, []byte("version-2"))
+		got := make([]byte, 9)
+		r.env.IOMMU.DMARead(r.env.Dev, addr, got)
+		if string(got) != "version-1" {
+			t.Error("device should still see the mapped-time snapshot")
+		}
+		if err := r.s.SyncForDevice(p, addr, buf.Size, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+		r.env.IOMMU.DMARead(r.env.Dev, addr, got)
+		if string(got) != "version-2" {
+			t.Error("sync_for_device did not refresh the shadow buffer")
+		}
+		r.s.Unmap(p, addr, buf.Size, dmaapi.ToDevice)
+	})
+}
+
+func TestSyncErrors(t *testing.T) {
+	r := newRig(t, 1)
+	buf := r.alloc(t, 1000)
+	r.run(t, func(p *sim.Proc) {
+		addr, _ := r.s.Map(p, buf, dmaapi.FromDevice)
+		if err := r.s.SyncForCPU(p, addr, 5000, dmaapi.FromDevice); err == nil {
+			t.Error("oversize sync should fail")
+		}
+		r.s.Unmap(p, addr, buf.Size, dmaapi.FromDevice)
+		if err := r.s.SyncForCPU(p, addr, buf.Size, dmaapi.FromDevice); err == nil {
+			t.Error("sync after unmap should fail")
+		}
+		if err := r.s.SyncForCPU(p, 0xdead, 10, dmaapi.FromDevice); err == nil {
+			t.Error("sync of unknown IOVA should fail")
+		}
+	})
+}
+
+func TestHybridSyncCoversHeadAndTail(t *testing.T) {
+	r := newRig(t, 1)
+	base, _ := r.env.Mem.AllocPages(0, 40)
+	buf := mem.Buf{Addr: base + 700, Size: 130 * 1024}
+	r.run(t, func(p *sim.Proc) {
+		addr, err := r.s.Map(p, buf, dmaapi.FromDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, buf.Size)
+		for i := range payload {
+			payload[i] = byte(i * 3)
+		}
+		if res := r.env.IOMMU.DMAWrite(r.env.Dev, addr, payload); res.Fault != nil {
+			t.Fatal(res.Fault)
+		}
+		if err := r.s.SyncForCPU(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
+			t.Fatal(err)
+		}
+		snap, _ := r.env.Mem.Snapshot(buf)
+		if !bytes.Equal(snap, payload) {
+			t.Error("hybrid sync_for_cpu incomplete (head/tail not copied)")
+		}
+		if err := r.s.Unmap(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,290 @@
+// Package cycles defines the calibrated cycle-cost model used by the
+// simulator. All performance constants in the reproduction live here, each
+// with its derivation from the paper ("True IOMMU Protection from DMA
+// Attacks", ASPLOS'16) so the model is auditable and tunable in one place.
+//
+// The evaluation machine in the paper is a dual-socket 2.40 GHz Intel Xeon
+// E5-2630 v3 (Haswell), 8 cores per socket, two NUMA domains, with a 40 Gb/s
+// Intel Fortville NIC. All constants below are expressed in CPU cycles at
+// that frequency.
+package cycles
+
+// Hz is the simulated CPU frequency (2.40 GHz Haswell, as in the paper).
+const Hz = 2_400_000_000
+
+// Costs holds every tunable cost constant of the simulation. A zero value is
+// not useful; construct with Default and tweak fields for ablations.
+type Costs struct {
+	// ---- IOMMU hardware ----
+
+	// IOTLBInvalidateHW is the hardware latency of processing one IOTLB
+	// invalidation command, including the completion (wait-descriptor)
+	// round trip observed by a busy-waiting CPU.
+	//
+	// Paper: "invalidation can take ~2000 cycles" (citing rIOMMU,
+	// ASPLOS'15) and the measured single-core strict cost is 0.61us =
+	// 1464 cycles at 2.4GHz. We use the measured figure.
+	IOTLBInvalidateHW uint64
+
+	// InvSubmit is the CPU cost of formatting and posting one descriptor
+	// into the invalidation queue (excluding the queue spinlock).
+	InvSubmit uint64
+
+	// IOTLBWalk is the device-side latency of a page-table walk on an
+	// IOTLB miss. It delays the DMA, not the CPU.
+	IOTLBWalk uint64
+
+	// ---- IOMMU page-table management (software) ----
+
+	// PTMap and PTUnmap are the per-operation software costs of creating
+	// and destroying an IOVA mapping in the device page table.
+	//
+	// Paper, Fig 5a: "IOMMU page table management costs both identity-
+	// and identity+ 0.17us" per packet = 408 cycles, split roughly
+	// evenly between the map and unmap halves.
+	PTMap   uint64
+	PTUnmap uint64
+
+	// PTPerPage is the extra page-table cost per additional 4 KiB page in
+	// a multi-page mapping (the first page is covered by PTMap/PTUnmap).
+	PTPerPage uint64
+
+	// ---- IOVA allocation (Linux-style tree allocator) ----
+
+	// IOVAAlloc and IOVAFree are the tree-manipulation costs of the
+	// baseline Linux IOVA allocator, excluding its spinlock. The identity
+	// variants (Peleg et al., ATC'15) avoid these entirely, which is why
+	// we compare against identity+/identity- as the paper does.
+	IOVAAlloc uint64
+	IOVAFree  uint64
+
+	// MagazineAlloc is the per-op cost of the scalable per-core IOVA
+	// allocator used by the shadow pool's fallback path.
+	MagazineAlloc uint64
+
+	// ---- Shadow buffer pool ----
+
+	// ShadowAcquire, ShadowFind and ShadowRelease are the pool costs.
+	//
+	// Paper, Fig 5a: "copy spends 0.02us on shadow buffer management"
+	// per packet = 48 cycles across acquire+find+release.
+	ShadowAcquire uint64
+	ShadowFind    uint64
+	ShadowRelease uint64
+
+	// ShadowGrow is the (infrequent) cost of allocating and IOMMU-mapping
+	// a fresh shadow buffer when a free list runs dry.
+	ShadowGrow uint64
+
+	// ---- Copying ----
+
+	// MemcpyBase and MemcpyPerByte model REP MOVSB on an ERMS Haswell.
+	//
+	// Paper, Fig 5: 0.11us per 1500 B packet and 4.65us per 64 KiB
+	// buffer, i.e. ~14 GB/s: 264 = base + 1500*b and 11160 = base +
+	// 65536*b give b ~= 0.170 cycles/B and base ~= 9 cycles. We round
+	// the base up to cover call overhead on tiny copies.
+	MemcpyBase    uint64
+	MemcpyPerByte uint64 // in 1/256ths of a cycle per byte (fixed point)
+
+	// L1Bytes and PollutionPerByte model cache pollution: a copy larger
+	// than the 32 KiB L1 evicts data the core needs afterwards.
+	//
+	// Paper, Fig 5b: copy's "other" time grows by ~2us when copying
+	// 64 KiB TSO buffers. 65536-32768 = 32768 polluting bytes over
+	// ~4800 cycles => ~0.146 cyc/B => 37/256ths.
+	L1Bytes          int
+	PollutionPerByte uint64 // 1/256ths of a cycle per byte beyond L1Bytes
+
+	// NUMARemoteFactorPct scales copy costs when source and destination
+	// are on different NUMA domains (percent, 100 = no penalty). The
+	// shadow pool's sticky NUMA-local buffers exist to avoid this.
+	NUMARemoteFactorPct uint64
+
+	// ---- Locks ----
+
+	// LockUncontended is the cost of an uncontended spinlock
+	// acquire+release pair (local cache hit, ~30 cycles on Haswell).
+	LockUncontended uint64
+
+	// LockHandoffBase and LockHandoffPerWaiter model contended handoff:
+	// every handoff moves the lock cache line across cores, and with N
+	// spinners the coherence traffic grows with N (ticket-lock style
+	// behaviour as in Linux). These constants are fit so that 16-core
+	// strict RX shows the paper's ~5x collapse (Fig 6, Fig 8a).
+	LockHandoffBase      uint64
+	LockHandoffPerWaiter uint64
+
+	// ---- Network datapath (baseline per-packet costs, Fig 5) ----
+
+	// RxParse is the driver+stack per-packet receive cost (descriptor
+	// processing, skb setup, protocol parsing).
+	RxParse uint64
+
+	// CopyUserBase/PerByte is the kernel<->user copy (copy_to_user /
+	// copy_from_user); same ~14 GB/s engine as memcpy.
+	CopyUserBase    uint64
+	CopyUserPerByte uint64 // 1/256ths of a cycle per byte
+
+	// PktOther and PktPerByte are the remaining per-wire-packet receive
+	// costs (softirq, TCP/IP, memory management, netperf loop), split
+	// into a fixed part and a size-dependent part. Fit jointly so that
+	// single-core no-iommu RX lands near the paper's ~17.5 Gb/s plateau
+	// at MSS-sized frames while small frames stay cheap (Fig 3c).
+	PktOther   uint64
+	PktPerByte uint64 // 1/256ths of a cycle per byte
+
+	// MsgOther is the per-message (per-syscall) cost on the send or
+	// receive side (socket call, wakeup).
+	MsgOther uint64
+
+	// TxSkbOther is the per-skb transmit-side cost (qdisc, doorbell,
+	// completion processing) in addition to MsgOther. TxSkbPerByte adds
+	// the size-dependent part (page references, TSO descriptor setup),
+	// fit so that single-core no-iommu TX matches the paper's Figure 4
+	// curve (~10 Gb/s at 1 KiB messages, wire-limited at 64 KiB).
+	TxSkbOther   uint64
+	TxSkbPerByte uint64 // 1/256ths of a cycle per byte
+
+	// InterruptEntry is the per-interrupt cost charged to the core that
+	// services a NIC interrupt (batched across packets by NAPI).
+	InterruptEntry uint64
+
+	// BlkSubmit and BlkComplete are the host-side block-layer costs of
+	// issuing and completing one storage command (blk-mq + NVMe driver).
+	BlkSubmit   uint64
+	BlkComplete uint64
+
+	// SyncMaint is the cache-maintenance cost of a dma_sync_* operation
+	// on zero-copy mappings (copying strategies pay copy costs instead).
+	SyncMaint uint64
+
+	// ---- Device / wire timing ----
+
+	// WireGbps is the link speed.
+	WireGbps uint64
+
+	// DMALatency is the device-side latency of one DMA transaction
+	// (PCIe round trip); it delays packet delivery, not the CPU.
+	DMALatency uint64
+
+	// IRQLatency is the delay between a device completion and the CPU
+	// observing the interrupt.
+	IRQLatency uint64
+
+	// SchedLatency is the idle delay between an interrupt's arrival and
+	// the woken task actually running (scheduler wakeup path).
+	SchedLatency uint64
+
+	// ClientOverhead is the remote netperf client's per-transaction
+	// processing time in request/response tests.
+	ClientOverhead uint64
+
+	// RemoteSyscallsPerSec caps the traffic generator's message rate;
+	// the paper notes small-message RX throughput is limited by "the
+	// sender's system call execution rate" (Fig 3 footnote 6).
+	RemoteSyscallsPerSec uint64
+}
+
+// Default returns the cost model calibrated to the paper's machine.
+func Default() *Costs {
+	return &Costs{
+		IOTLBInvalidateHW: 1464, // 0.61us measured (paper Fig 5a)
+		InvSubmit:         60,
+		IOTLBWalk:         300,
+
+		PTMap:     204, // 0.17us total across map+unmap (paper Fig 5a)
+		PTUnmap:   204,
+		PTPerPage: 48,
+
+		IOVAAlloc:     160,
+		IOVAFree:      120,
+		MagazineAlloc: 40,
+
+		ShadowAcquire: 20, // 0.02us total (paper Fig 5a)
+		ShadowFind:    8,
+		ShadowRelease: 20,
+		ShadowGrow:    2400,
+
+		MemcpyBase:    24,
+		MemcpyPerByte: 44, // 44/256 = 0.172 cyc/B ~= 14 GB/s
+
+		L1Bytes:          32 * 1024,
+		PollutionPerByte: 55, // ~3us extra at 64 KiB copies (Fig 5b "other")
+
+		NUMARemoteFactorPct: 140,
+
+		LockUncontended:      30,
+		LockHandoffBase:      120,
+		LockHandoffPerWaiter: 220,
+
+		RxParse:         360, // 0.15us
+		CopyUserBase:    24,
+		CopyUserPerByte: 44,
+		PktOther:        600, // fit: no-iommu 1-core RX ~17.5 Gb/s
+		PktPerByte:      44,
+		MsgOther:        500,
+		TxSkbOther:      1100,
+		TxSkbPerByte:    41,
+		InterruptEntry:  600,
+		BlkSubmit:       1900, // ~0.8us
+		BlkComplete:     1700, // ~0.7us
+		SyncMaint:       60,
+
+		WireGbps:             40,
+		DMALatency:           700,
+		IRQLatency:           2400,
+		SchedLatency:         9600,
+		ClientOverhead:       12000,
+		RemoteSyscallsPerSec: 1_000_000,
+	}
+}
+
+// Memcpy returns the cycle cost of copying n bytes (local NUMA).
+func (c *Costs) Memcpy(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return c.MemcpyBase + uint64(n)*c.MemcpyPerByte/256
+}
+
+// MemcpyRemote returns the cycle cost of copying n bytes across NUMA domains.
+func (c *Costs) MemcpyRemote(n int) uint64 {
+	return c.Memcpy(n) * c.NUMARemoteFactorPct / 100
+}
+
+// Pollution returns the cache-pollution surcharge of an n-byte copy: the
+// cycles later spent refilling the L1 working set the copy evicted.
+func (c *Costs) Pollution(n int) uint64 {
+	if n <= c.L1Bytes {
+		return 0
+	}
+	return uint64(n-c.L1Bytes) * c.PollutionPerByte / 256
+}
+
+// PktCost returns the residual per-received-frame stack cost for an
+// n-byte frame.
+func (c *Costs) PktCost(n int) uint64 {
+	return c.PktOther + uint64(n)*c.PktPerByte/256
+}
+
+// TxSkb returns the per-skb transmit-path kernel cost for an n-byte skb.
+func (c *Costs) TxSkb(n int) uint64 {
+	return c.TxSkbOther + uint64(n)*c.TxSkbPerByte/256
+}
+
+// CopyUser returns the cycle cost of a kernel<->user copy of n bytes.
+func (c *Costs) CopyUser(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return c.CopyUserBase + uint64(n)*c.CopyUserPerByte/256
+}
+
+// WireCycles returns the wire occupancy, in cycles, of an n-byte frame
+// (including a 24-byte ethernet preamble+FCS+IFG overhead per frame).
+func (c *Costs) WireCycles(n int) uint64 {
+	bits := uint64(n+24) * 8
+	// cycles = bits / (Gbps * 1e9 bit/s) * Hz
+	return bits * Hz / (c.WireGbps * 1_000_000_000)
+}

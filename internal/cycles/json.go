@@ -1,0 +1,52 @@
+package cycles
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON (de)serialization of the cost model, so users can recalibrate the
+// simulation for a different machine without rebuilding. Missing fields in
+// a loaded file keep their Default values, making partial override files
+// ("just change the invalidation cost") convenient.
+
+// SaveJSON writes the cost model as indented JSON.
+func (c *Costs) SaveJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// LoadJSON reads a cost model, starting from Default and overlaying any
+// fields present in the JSON. Unknown fields are rejected (they are almost
+// certainly typos of real knob names).
+func LoadJSON(r io.Reader) (*Costs, error) {
+	c := Default()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(c); err != nil {
+		return nil, fmt.Errorf("cycles: bad cost model: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate rejects cost models that would break the simulation.
+func (c *Costs) Validate() error {
+	if c.WireGbps == 0 {
+		return fmt.Errorf("cycles: WireGbps must be positive")
+	}
+	if c.L1Bytes < 0 {
+		return fmt.Errorf("cycles: L1Bytes must be non-negative")
+	}
+	if c.NUMARemoteFactorPct < 100 {
+		return fmt.Errorf("cycles: NUMARemoteFactorPct must be >= 100")
+	}
+	if c.RemoteSyscallsPerSec == 0 {
+		return fmt.Errorf("cycles: RemoteSyscallsPerSec must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package cycles
+
+// Component tags used for per-packet time accounting. They mirror the
+// stacked-bar components of Figures 5, 8 and 10 in the paper.
+const (
+	TagCopyMgmt   = "copy mgmt"        // shadow buffer pool operations
+	TagSpinlock   = "spinlock"         // waiting on contended spinlocks
+	TagInvalidate = "invalidate iotlb" // posting + waiting for IOTLB invalidations
+	TagPTMgmt     = "iommu page table mgmt"
+	TagMemcpy     = "memcpy" // copies to/from shadow buffers
+	TagRxParse    = "rx parsing"
+	TagCopyUser   = "copy_user"
+	TagOther      = "other"
+	TagIOVA       = "iova alloc" // folded into "other" when printing paper-style stacks
+)
+
+// Components lists the stacked-bar components in the order the paper's
+// figures present them.
+var Components = []string{
+	TagCopyMgmt,
+	TagSpinlock,
+	TagInvalidate,
+	TagPTMgmt,
+	TagMemcpy,
+	TagRxParse,
+	TagCopyUser,
+	TagOther,
+}

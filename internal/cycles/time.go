@@ -1,0 +1,42 @@
+package cycles
+
+// Helpers for converting between cycles, time and rates, so that every
+// reported number matches the units in the paper's figures.
+
+// Micros converts cycles to microseconds.
+func Micros(c uint64) float64 {
+	return float64(c) / (Hz / 1e6)
+}
+
+// Millis converts cycles to milliseconds.
+func Millis(c uint64) float64 {
+	return float64(c) / (Hz / 1e3)
+}
+
+// FromMicros converts microseconds to cycles.
+func FromMicros(us float64) uint64 {
+	return uint64(us * (Hz / 1e6))
+}
+
+// FromMillis converts milliseconds to cycles.
+func FromMillis(ms float64) uint64 {
+	return uint64(ms * (Hz / 1e3))
+}
+
+// Gbps returns the throughput, in gigabits per second, of transferring
+// bytes of payload over window cycles.
+func Gbps(bytes uint64, window uint64) float64 {
+	if window == 0 {
+		return 0
+	}
+	seconds := float64(window) / Hz
+	return float64(bytes) * 8 / 1e9 / seconds
+}
+
+// PerSec returns an event rate (events per second) over window cycles.
+func PerSec(events uint64, window uint64) float64 {
+	if window == 0 {
+		return 0
+	}
+	return float64(events) / (float64(window) / Hz)
+}

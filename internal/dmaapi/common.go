@@ -1,0 +1,176 @@
+package dmaapi
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// mapSGLoop implements scatter/gather mapping as a loop over Map, as the
+// paper notes SG operations "work analogously" (§2.2 footnote 1).
+func mapSGLoop(m Mapper, p *sim.Proc, bufs []mem.Buf, dir Dir) ([]iommu.IOVA, error) {
+	addrs := make([]iommu.IOVA, 0, len(bufs))
+	for _, b := range bufs {
+		a, err := m.Map(p, b, dir)
+		if err != nil {
+			// Unwind partial progress so SG map is all-or-nothing.
+			for i, done := range addrs {
+				_ = m.Unmap(p, done, bufs[i].Size, dir)
+			}
+			return nil, err
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
+}
+
+func unmapSGLoop(m Mapper, p *sim.Proc, addrs []iommu.IOVA, sizes []int, dir Dir) error {
+	if len(addrs) != len(sizes) {
+		return fmt.Errorf("dmaapi: SG unmap length mismatch %d vs %d", len(addrs), len(sizes))
+	}
+	for i, a := range addrs {
+		if err := m.Unmap(p, a, sizes[i], dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncMaint charges the cache-maintenance cost of a dma_sync_* call on a
+// zero-copy mapping (no data movement is needed: the device already
+// operates directly on the OS buffer).
+func syncMaint(env *Env, p *sim.Proc) {
+	p.Charge(cycles.TagOther, env.Costs.SyncMaint)
+}
+
+// allocCoherentPages allocates whole pages for a coherent buffer on the
+// caller's NUMA domain — page quantities guarantee it never shares a page
+// with other data (paper §2.2).
+func allocCoherentPages(env *Env, p *sim.Proc, size int) (mem.Buf, error) {
+	if size <= 0 {
+		return mem.Buf{}, fmt.Errorf("dmaapi: coherent alloc of %d bytes", size)
+	}
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	domain := env.DomainOfCore(p.Core())
+	addr, err := env.Mem.AllocPages(domain, pages)
+	if err != nil {
+		return mem.Buf{}, err
+	}
+	return mem.Buf{Addr: addr, Size: size}, nil
+}
+
+func freeCoherentPages(env *Env, buf mem.Buf) error {
+	pages := (buf.Size + mem.PageSize - 1) / mem.PageSize
+	return env.Mem.FreePages(buf.Addr, pages)
+}
+
+// flushEntry is one deferred unmap awaiting its batched invalidation.
+type flushEntry struct {
+	free func() // deferred release work (IOVA free), run after the flush
+}
+
+// flushQueue batches IOTLB invalidations, as Linux's deferred mode does:
+// the IOTLB is invalidated (globally) after `threshold` unmaps or after
+// `timeout`, whichever comes first (paper §2.2.1: 250 entries / 10 ms).
+// The queue is protected by one global lock — itself a multicore
+// bottleneck, which is what [42] pointed out.
+type flushQueue struct {
+	env       *Env
+	lock      *sim.Spinlock
+	entries   []flushEntry
+	threshold int
+	timeout   uint64 // cycles
+	timer     *sim.Timer
+	stats     *Stats
+	freeCost  uint64 // cycles charged per entry's deferred free work
+}
+
+func newFlushQueue(env *Env, stats *Stats, threshold int, timeoutMs float64) *flushQueue {
+	return &flushQueue{
+		env:       env,
+		lock:      env.NewLock("flushq"),
+		threshold: threshold,
+		timeout:   cycles.FromMillis(timeoutMs),
+		stats:     stats,
+	}
+}
+
+// add queues a deferred unmap. Called from proc context; takes the global
+// flush-queue lock and, at the high-water mark, performs the flush while
+// holding it (as Linux's add_unmap/flush_unmaps do).
+func (f *flushQueue) add(p *sim.Proc, e flushEntry) {
+	f.lock.Lock(p)
+	f.entries = append(f.entries, e)
+	if len(f.entries) > f.stats.DeferredQueuePeak {
+		f.stats.DeferredQueuePeak = len(f.entries)
+	}
+	if len(f.entries) == 1 {
+		// Arm the 10 ms timer for a low-rate trickle of unmaps.
+		f.armTimer()
+	}
+	if len(f.entries) >= f.threshold {
+		f.flushLocked(p)
+	}
+	f.lock.Unlock(p)
+}
+
+func (f *flushQueue) armTimer() {
+	if f.timer != nil {
+		f.timer.Cancel()
+	}
+	f.timer = f.env.Eng.ScheduleTimer(f.env.Eng.Now()+f.timeout, f.timerFlush)
+}
+
+// flushLocked performs the batched invalidation from proc context with
+// full cost accounting. Caller holds f.lock.
+func (f *flushQueue) flushLocked(p *sim.Proc) {
+	if len(f.entries) == 0 {
+		return
+	}
+	q := f.env.IOMMU.Queue
+	q.Lock.Lock(p)
+	done := q.SubmitGlobal(p)
+	q.WaitFor(p, done)
+	q.Lock.Unlock(p)
+	if f.freeCost > 0 {
+		p.Charge(cycles.TagIOVA, f.freeCost*uint64(len(f.entries)))
+	}
+	for _, e := range f.entries {
+		if e.free != nil {
+			e.free()
+		}
+	}
+	f.entries = f.entries[:0]
+	f.stats.DeferredFlushes++
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+}
+
+// timerFlush runs in timer (engine) context when the 10 ms deadline
+// expires: the invalidation is issued without charging any measured core.
+func (f *flushQueue) timerFlush(now uint64) {
+	if len(f.entries) == 0 {
+		return
+	}
+	f.env.IOMMU.Queue.SubmitGlobalAt(now)
+	for _, e := range f.entries {
+		if e.free != nil {
+			e.free()
+		}
+	}
+	f.entries = f.entries[:0]
+	f.stats.DeferredFlushes++
+	f.timer = nil
+}
+
+// quiesce drains the queue from proc context.
+func (f *flushQueue) quiesce(p *sim.Proc) {
+	f.lock.Lock(p)
+	f.flushLocked(p)
+	f.lock.Unlock(p)
+}

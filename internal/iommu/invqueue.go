@@ -1,0 +1,102 @@
+package iommu
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// InvQueue models the IOMMU invalidation queue: a cyclic buffer of commands
+// that the IOMMU hardware processes serially and asynchronously. Submission
+// is serialized by a single spinlock (Queue.Lock), which the paper
+// identifies as the scalability bottleneck of strict protection (§2.2.1):
+// under concurrent invalidations the lock, not the hardware, dominates.
+type InvQueue struct {
+	eng   *sim.Engine
+	u     *IOMMU
+	costs *cycles.Costs
+
+	// Lock serializes access to the queue registers. Callers must hold
+	// it across Submit calls (and, for strict protection, across the
+	// completion wait — as Linux's intel-iommu driver does).
+	Lock *sim.Spinlock
+
+	hwFreeAt uint64
+
+	// Stats
+	Submitted uint64
+	Completed uint64
+}
+
+func newInvQueue(eng *sim.Engine, u *IOMMU, costs *cycles.Costs) *InvQueue {
+	return &InvQueue{
+		eng:   eng,
+		u:     u,
+		costs: costs,
+		Lock: sim.NewSpinlock("invq", cycles.TagSpinlock, sim.LockCosts{
+			Uncontended:      costs.LockUncontended,
+			HandoffBase:      costs.LockHandoffBase,
+			HandoffPerWaiter: costs.LockHandoffPerWaiter,
+		}),
+	}
+}
+
+// submit queues one invalidation command whose effect runs when the
+// hardware gets to it, and returns the completion time. Caller holds Lock.
+func (q *InvQueue) submit(p *sim.Proc, effect func()) uint64 {
+	p.Charge(cycles.TagInvalidate, q.costs.InvSubmit)
+	start := q.hwFreeAt
+	if p.Now() > start {
+		start = p.Now()
+	}
+	done := start + q.costs.IOTLBInvalidateHW
+	q.hwFreeAt = done
+	q.Submitted++
+	q.u.Trace.Emit(p.Now(), trace.CatInval, "submitted, hw completes at %d", done)
+	q.eng.Schedule(done, func(uint64) {
+		effect()
+		q.Completed++
+	})
+	return done
+}
+
+// SubmitPages queues a page-selective invalidation (PSI) for npages IOVA
+// pages of dev starting at page, returning its completion time.
+func (q *InvQueue) SubmitPages(p *sim.Proc, dev DeviceID, page, npages uint64) uint64 {
+	return q.submit(p, func() { q.u.tlb.InvalidatePages(dev, page, npages) })
+}
+
+// SubmitDevice queues a device-selective invalidation.
+func (q *InvQueue) SubmitDevice(p *sim.Proc, dev DeviceID) uint64 {
+	return q.submit(p, func() { q.u.tlb.InvalidateDevice(dev) })
+}
+
+// SubmitGlobal queues a global invalidation (used by the batched deferred
+// flush, as in Linux).
+func (q *InvQueue) SubmitGlobal(p *sim.Proc) uint64 {
+	return q.submit(p, func() { q.u.tlb.InvalidateAll() })
+}
+
+// WaitFor busy-waits (wait-descriptor polling) until the hardware reaches
+// completion time t. The spin is accounted as IOTLB-invalidation time.
+func (q *InvQueue) WaitFor(p *sim.Proc, t uint64) {
+	p.SpinUntil(cycles.TagInvalidate, t)
+}
+
+// SubmitGlobalAt queues a global invalidation from timer/interrupt context
+// (no CPU-cost accounting — the work happens off the measured cores),
+// returning its completion time.
+func (q *InvQueue) SubmitGlobalAt(now uint64) uint64 {
+	start := q.hwFreeAt
+	if now > start {
+		start = now
+	}
+	done := start + q.costs.IOTLBInvalidateHW
+	q.hwFreeAt = done
+	q.Submitted++
+	q.eng.Schedule(done, func(uint64) {
+		q.u.tlb.InvalidateAll()
+		q.Completed++
+	})
+	return done
+}

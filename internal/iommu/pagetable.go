@@ -1,0 +1,94 @@
+package iommu
+
+// Domain is a per-device protection domain: a 4-level radix page table
+// translating 48-bit IOVAs to physical frames, as in Intel VT-d
+// second-level translation.
+type Domain struct {
+	dev         DeviceID
+	root        *ptNode
+	mappedPages uint64
+}
+
+const (
+	ptLevels    = 4
+	ptFanout    = 512 // 9 bits per level
+	ptLevelBits = 9
+)
+
+type pte struct {
+	pfn   uint64
+	perm  Perm
+	valid bool
+}
+
+type ptNode struct {
+	children [ptFanout]*ptNode // interior levels
+	ptes     [ptFanout]pte     // leaf level only
+}
+
+func newDomain(dev DeviceID) *Domain {
+	return &Domain{dev: dev, root: &ptNode{}}
+}
+
+// Dev returns the owning device.
+func (d *Domain) Dev() DeviceID { return d.dev }
+
+// MappedPages returns the number of currently mapped IOVA pages.
+func (d *Domain) MappedPages() uint64 { return d.mappedPages }
+
+// indices decomposes an IOVA page number into the per-level radix indices,
+// most significant level first.
+func indices(page uint64) [ptLevels]int {
+	var ix [ptLevels]int
+	for l := ptLevels - 1; l >= 0; l-- {
+		ix[ptLevels-1-l] = int((page >> (uint(l) * ptLevelBits)) & (ptFanout - 1))
+	}
+	return ix
+}
+
+// lookup walks the page table for an IOVA page.
+func (d *Domain) lookup(page uint64) (pte, bool) {
+	ix := indices(page)
+	n := d.root
+	for l := 0; l < ptLevels-1; l++ {
+		n = n.children[ix[l]]
+		if n == nil {
+			return pte{}, false
+		}
+	}
+	e := n.ptes[ix[ptLevels-1]]
+	return e, e.valid
+}
+
+// set installs a leaf PTE, allocating interior nodes on demand.
+func (d *Domain) set(page uint64, e pte) {
+	ix := indices(page)
+	n := d.root
+	for l := 0; l < ptLevels-1; l++ {
+		next := n.children[ix[l]]
+		if next == nil {
+			next = &ptNode{}
+			n.children[ix[l]] = next
+		}
+		n = next
+	}
+	n.ptes[ix[ptLevels-1]] = e
+}
+
+// clear removes a leaf PTE, reporting whether it was present. Interior
+// nodes are retained (as Linux retains page-table pages until a flush).
+func (d *Domain) clear(page uint64) bool {
+	ix := indices(page)
+	n := d.root
+	for l := 0; l < ptLevels-1; l++ {
+		n = n.children[ix[l]]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.ptes[ix[ptLevels-1]].valid {
+		return false
+	}
+	n.ptes[ix[ptLevels-1]] = pte{}
+	return true
+}

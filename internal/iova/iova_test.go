@@ -1,0 +1,249 @@
+package iova
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/iommu"
+	"repro/internal/mem"
+)
+
+func TestTreeAllocTopDown(t *testing.T) {
+	a := NewTree(0, 1024)
+	v1, err := a.Alloc(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := a.Alloc(0, 1)
+	// Linux allocates top-down: first allocation gets the highest pages.
+	if v1.Page() != 1023 || v2.Page() != 1022 {
+		t.Errorf("got pages %d, %d; want 1023, 1022", v1.Page(), v2.Page())
+	}
+	if a.Outstanding() != 2 {
+		t.Errorf("outstanding = %d", a.Outstanding())
+	}
+}
+
+func TestTreeFreeCoalesces(t *testing.T) {
+	a := NewTree(0, 100)
+	v1, _ := a.Alloc(0, 10)
+	v2, _ := a.Alloc(0, 10)
+	v3, _ := a.Alloc(0, 10)
+	if err := a.Free(0, v1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(0, v3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(0, v2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreePages() != 100 {
+		t.Errorf("free pages = %d, want 100", a.FreePages())
+	}
+	// After full coalescing a single 100-page alloc must succeed.
+	if _, err := a.Alloc(0, 100); err != nil {
+		t.Errorf("coalescing failed: %v", err)
+	}
+}
+
+func TestTreeExhaustion(t *testing.T) {
+	a := NewTree(0, 10)
+	if _, err := a.Alloc(0, 11); err == nil {
+		t.Error("oversize alloc should fail")
+	}
+	v, _ := a.Alloc(0, 10)
+	if _, err := a.Alloc(0, 1); err == nil {
+		t.Error("alloc from empty should fail")
+	}
+	if a.Failed != 2 {
+		t.Errorf("failed = %d", a.Failed)
+	}
+	a.Free(0, v, 10)
+	if _, err := a.Alloc(0, 10); err != nil {
+		t.Error("space should be reusable")
+	}
+}
+
+func TestTreeFreeErrors(t *testing.T) {
+	a := NewTree(0, 100)
+	v, _ := a.Alloc(0, 4)
+	if err := a.Free(0, v+mem.PageSize, 3); err == nil {
+		t.Error("free of non-start should fail")
+	}
+	if err := a.Free(0, v, 3); err == nil {
+		t.Error("free with wrong size should fail")
+	}
+	if err := a.Free(0, v, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(0, v, 4); err == nil {
+		t.Error("double free should fail")
+	}
+	if _, err := a.Alloc(0, 0); err == nil {
+		t.Error("zero alloc should fail")
+	}
+}
+
+// TestTreeRandomizedAgainstReference drives random alloc/free traffic and
+// checks the allocator never hands out overlapping ranges and never loses
+// pages.
+func TestTreeRandomizedAgainstReference(t *testing.T) {
+	const totalPages = 4096
+	a := NewTree(0, totalPages)
+	rng := rand.New(rand.NewSource(1))
+	type alloc struct {
+		addr iommu.IOVA
+		n    int
+	}
+	var live []alloc
+	owned := map[uint64]bool{}
+	for step := 0; step < 20000; step++ {
+		if len(live) == 0 || rng.Intn(100) < 55 {
+			n := 1 + rng.Intn(16)
+			addr, err := a.Alloc(0, n)
+			if err != nil {
+				// Must only fail when genuinely fragmented/full.
+				if a.FreePages() >= uint64(totalPages)*3/4 {
+					t.Fatalf("spurious alloc failure with %d free", a.FreePages())
+				}
+				continue
+			}
+			for p := addr.Page(); p < addr.Page()+uint64(n); p++ {
+				if owned[p] {
+					t.Fatalf("page %d double-allocated", p)
+				}
+				owned[p] = true
+			}
+			live = append(live, alloc{addr, n})
+		} else {
+			i := rng.Intn(len(live))
+			al := live[i]
+			if err := a.Free(0, al.addr, al.n); err != nil {
+				t.Fatal(err)
+			}
+			for p := al.addr.Page(); p < al.addr.Page()+uint64(al.n); p++ {
+				delete(owned, p)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if got := a.FreePages() + uint64(len(owned)); got != totalPages {
+			t.Fatalf("page conservation violated: free=%d owned=%d", a.FreePages(), len(owned))
+		}
+	}
+	for _, al := range live {
+		if err := a.Free(0, al.addr, al.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreePages() != totalPages {
+		t.Errorf("leak: %d free pages at end", a.FreePages())
+	}
+	// Everything coalesced back into one extent.
+	if _, err := a.Alloc(0, totalPages); err != nil {
+		t.Errorf("final full alloc failed: %v", err)
+	}
+}
+
+func TestMagazineCachesPerCore(t *testing.T) {
+	m := NewMagazine(2, 0, 1<<20, 8)
+	v, err := m.Alloc(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheMisses != 1 {
+		t.Errorf("misses = %d", m.CacheMisses)
+	}
+	if err := m.Free(0, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := m.Alloc(0, 1)
+	if v2 != v {
+		t.Error("same-core alloc should hit the magazine")
+	}
+	if m.CacheHits != 1 {
+		t.Errorf("hits = %d", m.CacheHits)
+	}
+	// A different core does not see core 0's magazine.
+	m.Free(0, v2, 1)
+	v3, _ := m.Alloc(1, 1)
+	if v3 == v {
+		t.Error("cross-core alloc should not hit core 0's magazine")
+	}
+}
+
+func TestMagazineSpills(t *testing.T) {
+	m := NewMagazine(1, 0, 1<<20, 4)
+	var addrs []iommu.IOVA
+	for i := 0; i < 8; i++ {
+		v, err := m.Alloc(0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, v)
+	}
+	for _, v := range addrs {
+		if err := m.Free(0, v, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Spills == 0 {
+		t.Error("overflowing the magazine should spill to the backend")
+	}
+	if m.Outstanding() != 0 {
+		t.Errorf("outstanding = %d, want 0", m.Outstanding())
+	}
+}
+
+func TestMagazineSizeSegregation(t *testing.T) {
+	m := NewMagazine(1, 0, 1<<20, 8)
+	v1, _ := m.Alloc(0, 1)
+	m.Free(0, v1, 1)
+	// A 2-page alloc must not reuse the cached 1-page range.
+	v2, _ := m.Alloc(0, 2)
+	if v2 == v1 {
+		t.Error("magazine must segregate by size")
+	}
+	if m.Outstanding() != 2 {
+		t.Errorf("outstanding = %d, want 2", m.Outstanding())
+	}
+}
+
+func TestMagazineBadCore(t *testing.T) {
+	m := NewMagazine(1, 0, 100, 4)
+	if _, err := m.Alloc(5, 1); err == nil {
+		t.Error("bad core should fail")
+	}
+	if err := m.Free(-1, 0, 1); err == nil {
+		t.Error("bad core should fail")
+	}
+}
+
+func BenchmarkTreeAllocFree(b *testing.B) {
+	a := NewTree(0, 1<<24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := a.Alloc(0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(0, v, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMagazineAllocFree(b *testing.B) {
+	m := NewMagazine(1, 0, 1<<24, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := m.Alloc(0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Free(0, v, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package iova
+
+import (
+	"fmt"
+
+	"repro/internal/iommu"
+)
+
+// MagazineAllocator is a scalable IOVA allocator in the style of Peleg et
+// al. (USENIX ATC'15): each core keeps per-size magazines of recently freed
+// ranges, so the common alloc/free path never touches the shared backend
+// tree (and thus never contends on its lock). It is what the shadow pool's
+// fallback path and the huge-buffer hybrid use.
+type MagazineAllocator struct {
+	backend *TreeAllocator
+	cap     int
+	// mags[core][npages] is that core's stack of cached ranges.
+	mags []map[int][]iommu.IOVA
+
+	// Stats
+	CacheHits, CacheMisses, Spills uint64
+}
+
+// NewMagazine creates a magazine allocator over a fresh backend tree
+// covering [loPage, hiPage), with per-core-per-size capacity cap.
+func NewMagazine(cores int, loPage, hiPage uint64, cap int) *MagazineAllocator {
+	if cores < 1 {
+		cores = 1
+	}
+	if cap < 1 {
+		cap = 64
+	}
+	m := &MagazineAllocator{
+		backend: NewTree(loPage, hiPage),
+		cap:     cap,
+		mags:    make([]map[int][]iommu.IOVA, cores),
+	}
+	for i := range m.mags {
+		m.mags[i] = make(map[int][]iommu.IOVA)
+	}
+	return m
+}
+
+// Backend exposes the shared tree (for stats/tests).
+func (m *MagazineAllocator) Backend() *TreeAllocator { return m.backend }
+
+// Outstanding implements Allocator. Ranges sitting in magazines count as
+// outstanding in the backend but are free from the caller's perspective;
+// we report the caller's view.
+func (m *MagazineAllocator) Outstanding() uint64 {
+	cached := uint64(0)
+	for _, mm := range m.mags {
+		for n, stack := range mm {
+			cached += uint64(n) * uint64(len(stack))
+		}
+	}
+	return m.backend.Outstanding() - cached
+}
+
+// Alloc implements Allocator.
+func (m *MagazineAllocator) Alloc(core, npages int) (iommu.IOVA, error) {
+	if core < 0 || core >= len(m.mags) {
+		return 0, fmt.Errorf("iova: bad core %d", core)
+	}
+	stack := m.mags[core][npages]
+	if len(stack) > 0 {
+		addr := stack[len(stack)-1]
+		m.mags[core][npages] = stack[:len(stack)-1]
+		m.CacheHits++
+		return addr, nil
+	}
+	m.CacheMisses++
+	return m.backend.Alloc(core, npages)
+}
+
+// Free implements Allocator: the range goes into the core's magazine; when
+// the magazine overflows, half of it spills back to the shared backend.
+func (m *MagazineAllocator) Free(core int, addr iommu.IOVA, npages int) error {
+	if core < 0 || core >= len(m.mags) {
+		return fmt.Errorf("iova: bad core %d", core)
+	}
+	stack := append(m.mags[core][npages], addr)
+	if len(stack) > m.cap {
+		m.Spills++
+		spill := len(stack) / 2
+		for _, a := range stack[:spill] {
+			if err := m.backend.Free(core, a, npages); err != nil {
+				return err
+			}
+		}
+		stack = append(stack[:0], stack[spill:]...)
+	}
+	m.mags[core][npages] = stack
+	return nil
+}

@@ -1,0 +1,111 @@
+package kv
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/netstack"
+	"repro/internal/sim"
+)
+
+// ServerConfig parameterizes one memcached instance.
+type ServerConfig struct {
+	// OpCycles is the CPU cost of the key-value operation proper (hash
+	// lookup, LRU, item handling). Default ~4us, putting per-request
+	// service time in real memcached territory.
+	OpCycles uint64
+	// KeySpace and sizes used for prepopulation.
+	KeySpace  int
+	KeySize   int
+	ValueSize int
+}
+
+// DefaultServerConfig matches the paper's memslap setup (64 B keys, 1 KiB
+// values).
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{OpCycles: 9600, KeySpace: 2048, KeySize: 64, ValueSize: 1024}
+}
+
+// ServerStats accumulates one instance's results.
+type ServerStats struct {
+	Requests uint64
+	GetOps   uint64
+	SetOps   uint64
+	Errors   uint64
+	Tx       netstack.TxStats
+}
+
+// Prepopulate fills the store with the benchmark key space so GETs hit
+// (memslap warms the cache before measuring).
+func Prepopulate(st *Store, domain int, cfg ServerConfig) error {
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := 0; i < cfg.KeySpace; i++ {
+		if err := st.Set(domain, Key(i, cfg.KeySize), val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunServer runs one memcached instance on one core: receive a request
+// frame, execute it against the store, transmit the response.
+func RunServer(p *sim.Proc, drv *netstack.Driver, store *Store, qi int, cfg ServerConfig, st *ServerStats) error {
+	if err := drv.SetupQueue(p, qi); err != nil {
+		return err
+	}
+	q := drv.NIC().Queue(qi)
+	pool, err := drv.NewTxPool(p, 32)
+	if err != nil {
+		return err
+	}
+	co := costsOf(drv)
+	domain := domainOf(drv, p)
+	for {
+		if !q.HasRx() {
+			q.RxCond.WaitUntil(p, q.HasRx)
+			p.Sleep(co.SchedLatency)
+		}
+		p.Charge(cycles.TagOther, co.InterruptEntry)
+		for _, c := range q.DrainRx() {
+			payload, err := drv.HandleRxRaw(p, qi, c)
+			if err != nil {
+				return err
+			}
+			req, err := DecodeRequest(payload)
+			if err != nil {
+				st.Errors++
+				continue
+			}
+			st.Requests++
+			p.Charge(cycles.TagOther, cfg.OpCycles)
+			var resp []byte
+			switch req.Op {
+			case OpGet:
+				st.GetOps++
+				val, hit, err := store.Get(req.Key)
+				if err != nil {
+					return err
+				}
+				resp = EncodeGetResponse(val, hit)
+			case OpSet:
+				st.SetOps++
+				if err := store.Set(domain, req.Key, req.Value); err != nil {
+					return err
+				}
+				resp = EncodeSetResponse()
+			}
+			if err := drv.SendMessageData(p, q, pool, resp, &st.Tx); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func costsOf(drv *netstack.Driver) *cycles.Costs {
+	return drv.Env().Costs
+}
+
+func domainOf(drv *netstack.Driver, p *sim.Proc) int {
+	return drv.Env().DomainOfCore(p.Core())
+}

@@ -1,0 +1,200 @@
+// Package mem simulates host physical memory: a sparse page store with a
+// NUMA-aware page-frame allocator and a slab-style kmalloc that co-locates
+// small allocations on shared pages — the property that makes sub-page DMA
+// exposure possible (paper §4).
+package mem
+
+import (
+	"fmt"
+)
+
+const (
+	// PageSize is the 4 KiB page size used throughout (x86, and the
+	// granularity of IOMMU protection in the paper).
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+)
+
+// Phys is a simulated physical address.
+type Phys uint64
+
+// PFN returns the page frame number containing the address.
+func (p Phys) PFN() uint64 { return uint64(p) >> PageShift }
+
+// Offset returns the offset of the address within its page.
+func (p Phys) Offset() int { return int(uint64(p) & (PageSize - 1)) }
+
+// PageBase returns the address of the start of the containing page.
+func (p Phys) PageBase() Phys { return Phys(p.PFN() << PageShift) }
+
+// Buf describes a physical buffer (address + length).
+type Buf struct {
+	Addr Phys
+	Size int
+}
+
+// End returns the first address past the buffer.
+func (b Buf) End() Phys { return b.Addr + Phys(b.Size) }
+
+// domainSpan is the number of page frames reserved per NUMA domain
+// (2^22 frames = 16 GiB of address space per domain).
+const domainSpan = 1 << 22
+
+// Memory is the simulated physical memory of one machine.
+type Memory struct {
+	domains int
+	pages   map[uint64]*page
+	nextPFN []uint64
+	freeOne [][]uint64 // per-domain free single frames
+	inUse   []uint64   // per-domain allocated frames
+}
+
+type page struct {
+	data   [PageSize]byte
+	domain int
+}
+
+// New creates a machine memory with the given number of NUMA domains.
+func New(domains int) *Memory {
+	if domains < 1 {
+		domains = 1
+	}
+	m := &Memory{
+		domains: domains,
+		pages:   make(map[uint64]*page),
+		nextPFN: make([]uint64, domains),
+		freeOne: make([][]uint64, domains),
+		inUse:   make([]uint64, domains),
+	}
+	for d := 0; d < domains; d++ {
+		// PFN 0 is never allocated so that Phys(0) can mean "nil".
+		m.nextPFN[d] = uint64(d)*domainSpan + 1
+	}
+	return m
+}
+
+// Domains returns the number of NUMA domains.
+func (m *Memory) Domains() int { return m.domains }
+
+// DomainOf returns the NUMA domain an address belongs to.
+func (m *Memory) DomainOf(p Phys) int {
+	return int(p.PFN() / domainSpan)
+}
+
+// AllocPages allocates n physically contiguous pages on the given NUMA
+// domain and returns the base address.
+func (m *Memory) AllocPages(domain, n int) (Phys, error) {
+	if domain < 0 || domain >= m.domains {
+		return 0, fmt.Errorf("mem: bad domain %d", domain)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("mem: bad page count %d", n)
+	}
+	var base uint64
+	if n == 1 && len(m.freeOne[domain]) > 0 {
+		fl := m.freeOne[domain]
+		base = fl[len(fl)-1]
+		m.freeOne[domain] = fl[:len(fl)-1]
+	} else {
+		base = m.nextPFN[domain]
+		if base+uint64(n) > uint64(domain+1)*domainSpan {
+			return 0, fmt.Errorf("mem: domain %d exhausted", domain)
+		}
+		m.nextPFN[domain] += uint64(n)
+	}
+	for i := uint64(0); i < uint64(n); i++ {
+		m.pages[base+i] = &page{domain: domain}
+	}
+	m.inUse[domain] += uint64(n)
+	return Phys(base << PageShift), nil
+}
+
+// FreePages releases n pages starting at base (which must be page-aligned
+// and previously allocated).
+func (m *Memory) FreePages(base Phys, n int) error {
+	if base.Offset() != 0 {
+		return fmt.Errorf("mem: FreePages of unaligned %#x", uint64(base))
+	}
+	pfn := base.PFN()
+	domain := m.DomainOf(base)
+	for i := uint64(0); i < uint64(n); i++ {
+		if _, ok := m.pages[pfn+i]; !ok {
+			return fmt.Errorf("mem: double free of pfn %#x", pfn+i)
+		}
+		delete(m.pages, pfn+i)
+		m.freeOne[domain] = append(m.freeOne[domain], pfn+i)
+	}
+	m.inUse[domain] -= uint64(n)
+	return nil
+}
+
+// InUseBytes returns the number of allocated bytes on a domain.
+func (m *Memory) InUseBytes(domain int) uint64 {
+	return m.inUse[domain] * PageSize
+}
+
+// Read copies memory starting at addr into b. It fails if any touched page
+// is unallocated.
+func (m *Memory) Read(addr Phys, b []byte) error {
+	return m.access(addr, b, false)
+}
+
+// Write copies b into memory starting at addr. It fails (without partial
+// effects) if any touched page is unallocated.
+func (m *Memory) Write(addr Phys, b []byte) error {
+	return m.access(addr, b, true)
+}
+
+func (m *Memory) access(addr Phys, b []byte, write bool) error {
+	// Validate the whole range first so failures have no partial effects.
+	for pfn := addr.PFN(); pfn <= (addr + Phys(len(b)) - 1).PFN(); pfn++ {
+		if len(b) == 0 {
+			break
+		}
+		if _, ok := m.pages[pfn]; !ok {
+			return fmt.Errorf("mem: access to unallocated pfn %#x", pfn)
+		}
+	}
+	off := 0
+	for off < len(b) {
+		a := addr + Phys(off)
+		pg := m.pages[a.PFN()]
+		po := a.Offset()
+		n := PageSize - po
+		if n > len(b)-off {
+			n = len(b) - off
+		}
+		if write {
+			copy(pg.data[po:po+n], b[off:off+n])
+		} else {
+			copy(b[off:off+n], pg.data[po:po+n])
+		}
+		off += n
+	}
+	return nil
+}
+
+// Allocated reports whether the page containing addr is allocated.
+func (m *Memory) Allocated(addr Phys) bool {
+	_, ok := m.pages[addr.PFN()]
+	return ok
+}
+
+// Fill writes the byte v over the buffer (test/attack convenience).
+func (m *Memory) Fill(b Buf, v byte) error {
+	data := make([]byte, b.Size)
+	for i := range data {
+		data[i] = v
+	}
+	return m.Write(b.Addr, data)
+}
+
+// Snapshot reads the buffer's current contents into a fresh slice.
+func (m *Memory) Snapshot(b Buf) ([]byte, error) {
+	data := make([]byte, b.Size)
+	if err := m.Read(b.Addr, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

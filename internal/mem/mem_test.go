@@ -1,0 +1,262 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocReadWriteRoundTrip(t *testing.T) {
+	m := New(1)
+	addr, err := m.AllocPages(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("hello physical world")
+	if err := m.Write(addr+100, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := m.Read(addr+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestAccessSpansPages(t *testing.T) {
+	m := New(1)
+	addr, _ := m.AllocPages(0, 2)
+	want := make([]byte, 1000)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	// Straddle the page boundary.
+	at := addr + Phys(PageSize-500)
+	if err := m.Write(at, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1000)
+	if err := m.Read(at, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("page-spanning access corrupted data")
+	}
+}
+
+func TestAccessUnallocatedFails(t *testing.T) {
+	m := New(1)
+	b := make([]byte, 10)
+	if err := m.Read(Phys(123456<<PageShift), b); err == nil {
+		t.Error("read of unallocated memory should fail")
+	}
+	addr, _ := m.AllocPages(0, 1)
+	// Write that runs off the end of the allocation must fail with no
+	// partial effects.
+	big := make([]byte, PageSize+10)
+	if err := m.Write(addr, big); err == nil {
+		t.Error("overrun write should fail")
+	}
+	probe := make([]byte, 4)
+	if err := m.Read(addr, probe); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(probe, []byte{0, 0, 0, 0}) {
+		t.Error("failed write had partial effects")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	m := New(1)
+	a, _ := m.AllocPages(0, 1)
+	if err := m.FreePages(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Allocated(a) {
+		t.Error("freed page still allocated")
+	}
+	b, _ := m.AllocPages(0, 1)
+	if a != b {
+		t.Errorf("single-page alloc should reuse freed frame: %#x vs %#x", a, b)
+	}
+	if err := m.FreePages(b+4096, 1); err == nil {
+		t.Error("double/invalid free should fail")
+	}
+	if err := m.FreePages(b+1, 1); err == nil {
+		t.Error("unaligned free should fail")
+	}
+}
+
+func TestNUMADomains(t *testing.T) {
+	m := New(2)
+	a, _ := m.AllocPages(0, 1)
+	b, _ := m.AllocPages(1, 1)
+	if m.DomainOf(a) != 0 || m.DomainOf(b) != 1 {
+		t.Errorf("domains: %d %d", m.DomainOf(a), m.DomainOf(b))
+	}
+	if m.InUseBytes(0) != PageSize || m.InUseBytes(1) != PageSize {
+		t.Error("in-use accounting wrong")
+	}
+	if _, err := m.AllocPages(2, 1); err == nil {
+		t.Error("bad domain should fail")
+	}
+	if _, err := m.AllocPages(0, 0); err == nil {
+		t.Error("zero pages should fail")
+	}
+}
+
+func TestPhysHelpers(t *testing.T) {
+	p := Phys(5<<PageShift + 123)
+	if p.PFN() != 5 || p.Offset() != 123 || p.PageBase() != Phys(5<<PageShift) {
+		t.Errorf("helpers wrong: %d %d %#x", p.PFN(), p.Offset(), uint64(p.PageBase()))
+	}
+	b := Buf{Addr: p, Size: 10}
+	if b.End() != p+10 {
+		t.Error("End wrong")
+	}
+}
+
+func TestRandomReadWriteProperty(t *testing.T) {
+	m := New(1)
+	base, _ := m.AllocPages(0, 16)
+	shadow := make([]byte, 16*PageSize)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		off := rng.Intn(16*PageSize - 200)
+		n := 1 + rng.Intn(199)
+		data := make([]byte, n)
+		rng.Read(data)
+		if err := m.Write(base+Phys(off), data); err != nil {
+			t.Fatal(err)
+		}
+		copy(shadow[off:], data)
+	}
+	got := make([]byte, len(shadow))
+	if err := m.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, shadow) {
+		t.Error("memory diverged from reference model")
+	}
+}
+
+func TestKmallocCoLocatesOnPage(t *testing.T) {
+	// The security-critical property: consecutive small allocations share
+	// a page, so page-granularity IOMMU mapping exposes neighbours.
+	m := New(1)
+	k := NewKmalloc(m, nil)
+	a, err := k.Alloc(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Alloc(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SamePage(a, b) {
+		t.Error("consecutive kmallocs should share a page (slab co-location)")
+	}
+	if a.End() > b.Addr && b.End() > a.Addr {
+		t.Error("allocations overlap")
+	}
+}
+
+func TestKmallocClassRounding(t *testing.T) {
+	m := New(1)
+	k := NewKmalloc(m, nil)
+	a, _ := k.Alloc(0, 100) // class 128
+	c, _ := k.Alloc(0, 128) // same class
+	if a.Addr.PFN() != c.Addr.PFN() {
+		t.Error("same-class allocations should pack onto the same slab page")
+	}
+	if got := int(c.Addr - a.Addr); got != 128 {
+		t.Errorf("object stride = %d, want 128", got)
+	}
+}
+
+func TestKmallocLargeFallsBackToPages(t *testing.T) {
+	m := New(1)
+	k := NewKmalloc(m, nil)
+	b, err := k.Alloc(0, 3*PageSize+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Addr.Offset() != 0 {
+		t.Error("large alloc should be page aligned")
+	}
+	if err := k.Free(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKmallocFreeAndReuse(t *testing.T) {
+	m := New(1)
+	k := NewKmalloc(m, nil)
+	a, _ := k.Alloc(0, 64)
+	if err := k.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := k.Alloc(0, 64)
+	if a.Addr != b.Addr {
+		t.Error("freed object should be reused first (use-after-free realism)")
+	}
+	if err := k.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Free(b); err == nil {
+		t.Error("double free should fail")
+	}
+	if err := k.Free(Buf{Addr: 0xdead000, Size: 64}); err == nil {
+		t.Error("free of unknown address should fail")
+	}
+}
+
+func TestKmallocManyAllocationsDistinct(t *testing.T) {
+	m := New(1)
+	k := NewKmalloc(m, nil)
+	seen := map[Phys]bool{}
+	for i := 0; i < 1000; i++ {
+		b, err := k.Alloc(0, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[b.Addr] {
+			t.Fatalf("duplicate address %#x", uint64(b.Addr))
+		}
+		seen[b.Addr] = true
+	}
+}
+
+func TestKmallocZeroSizeFails(t *testing.T) {
+	m := New(1)
+	k := NewKmalloc(m, nil)
+	if _, err := k.Alloc(0, 0); err == nil {
+		t.Error("zero-size alloc should fail")
+	}
+}
+
+func TestSamePageProperty(t *testing.T) {
+	f := func(aOff, bOff uint16, aLen, bLen uint8) bool {
+		a := Buf{Addr: Phys(1<<PageShift) + Phys(aOff), Size: int(aLen) + 1}
+		b := Buf{Addr: Phys(1<<PageShift) + Phys(bOff), Size: int(bLen) + 1}
+		got := SamePage(a, b)
+		// Reference: enumerate pages.
+		pages := map[uint64]bool{}
+		for p := a.Addr.PFN(); p <= (a.End() - 1).PFN(); p++ {
+			pages[p] = true
+		}
+		want := false
+		for p := b.Addr.PFN(); p <= (b.End() - 1).PFN(); p++ {
+			if pages[p] {
+				want = true
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

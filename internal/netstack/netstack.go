@@ -1,0 +1,290 @@
+// Package netstack implements the network datapath of the evaluation: a
+// NIC driver (receive buffer management, transmit queuing, interrupt
+// handling) and netperf-style workloads (TCP_STREAM receive/transmit,
+// TCP_RR request/response) whose per-packet costs follow the component
+// breakdown of the paper's Figure 5 (rx parsing, copy_user, other) on top
+// of whatever the configured DMA-protection strategy charges.
+//
+// The driver code is strategy-agnostic: it calls the dmaapi.Mapper
+// interface exactly as a Linux driver calls the DMA API, which is the
+// transparency property of the paper's design (§5.1).
+package netstack
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// Driver is the simulated NIC driver for one machine/device pair.
+type Driver struct {
+	env    *dmaapi.Env
+	mapper dmaapi.Mapper
+	n      *nic.NIC
+	k      *mem.Kmalloc
+
+	rxBufSize int
+
+	// Firewall, if set, inspects every received packet after dma_unmap
+	// (the packet-filter position the paper's TOCTOU example targets).
+	// Returning false drops the packet.
+	Firewall func(p *sim.Proc, pkt []byte) bool
+	// OnDeliver, if set, receives the packet payload at the point the
+	// application consumes it (after copy_to_user).
+	OnDeliver func(p *sim.Proc, pkt []byte)
+
+	// RemoteBufs forces DMA buffers onto the far NUMA domain (ablation:
+	// what the shadow pool's sticky NUMA-local buffers save).
+	RemoteBufs bool
+
+	// Stats
+	FirewallDrops uint64
+
+	coherent []ringArea
+}
+
+type ringArea struct {
+	addr iommu.IOVA
+	buf  mem.Buf
+}
+
+// NewDriver creates a driver using the given protection strategy.
+func NewDriver(env *dmaapi.Env, mapper dmaapi.Mapper, n *nic.NIC, k *mem.Kmalloc, rxBufSize int) *Driver {
+	if rxBufSize <= 0 {
+		rxBufSize = 2048
+	}
+	return &Driver{env: env, mapper: mapper, n: n, k: k, rxBufSize: rxBufSize}
+}
+
+// Mapper returns the protection strategy in use.
+func (d *Driver) Mapper() dmaapi.Mapper { return d.mapper }
+
+// Env returns the machine environment the driver runs on.
+func (d *Driver) Env() *dmaapi.Env { return d.env }
+
+// bufDomain picks the NUMA domain for DMA buffers owned by a core,
+// honouring the RemoteBufs ablation flag.
+func (d *Driver) bufDomain(core int) int {
+	dom := d.env.DomainOfCore(core)
+	if d.RemoteBufs {
+		dom = (dom + 1) % d.env.Mem.Domains()
+	}
+	return dom
+}
+
+// NIC returns the device.
+func (d *Driver) NIC() *nic.NIC { return d.n }
+
+// SetupQueue initializes queue qi from proc context: it allocates the
+// descriptor ring area with dma_alloc_coherent (exercising the coherent
+// path every strategy implements with strict protection) and fills the
+// receive ring with freshly mapped kmalloc'ed buffers — which, being slab
+// allocations, may share pages with unrelated kernel data (the sub-page
+// hazard).
+func (d *Driver) SetupQueue(p *sim.Proc, qi int) error {
+	q := d.n.Queue(qi)
+	ringBytes := q.RxRing.Size() * 16 * 2 // rx+tx descriptors, 16 B each
+	addr, buf, err := d.mapper.AllocCoherent(p, ringBytes)
+	if err != nil {
+		return fmt.Errorf("netstack: ring alloc: %w", err)
+	}
+	d.coherent = append(d.coherent, ringArea{addr: addr, buf: buf})
+	domain := d.bufDomain(p.Core())
+	for i := 0; i < q.RxRing.Size(); i++ {
+		buf, err := d.k.Alloc(domain, d.rxBufSize)
+		if err != nil {
+			return err
+		}
+		if err := d.postRxBuf(p, q, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) postRxBuf(p *sim.Proc, q *nic.Queue, buf mem.Buf) error {
+	addr, err := d.mapper.Map(p, buf, dmaapi.FromDevice)
+	if err != nil {
+		return err
+	}
+	if !q.PostRx(p, nic.Desc{Addr: addr, Len: buf.Size, Tag: buf}) {
+		return fmt.Errorf("netstack: rx ring overflow")
+	}
+	return nil
+}
+
+// PacketLenHint is the copying hint (§5.4) the evaluation installs for the
+// copy strategy: it parses the 2-byte length header of the simulated wire
+// format (standing in for the IP total-length field) from the untrusted,
+// device-written shadow buffer, defensively clamping to the mapped size.
+func PacketLenHint(m *mem.Memory, shadowBuf mem.Buf, mapped int) int {
+	var hdr [2]byte
+	if shadowBuf.Size < 2 || m.Read(shadowBuf.Addr, hdr[:]) != nil {
+		return mapped
+	}
+	n := int(hdr[0])<<8 | int(hdr[1])
+	if n < 2 || n > mapped {
+		return mapped // untrusted input: fall back to the full copy
+	}
+	return n
+}
+
+// RxStats accumulates receive-side results.
+type RxStats struct {
+	Bytes    uint64
+	Frames   uint64
+	Messages uint64
+}
+
+// handleRx processes one receive completion: dma_unmap, protocol parsing,
+// optional firewall, copy to userspace, buffer recycle.
+func (d *Driver) handleRx(p *sim.Proc, q *nic.Queue, c nic.RxCompletion, msgSize int, msgAcc *int, st *RxStats) error {
+	buf := c.Desc.Tag.(mem.Buf)
+	if err := d.mapper.Unmap(p, c.Desc.Addr, buf.Size, dmaapi.FromDevice); err != nil {
+		return err
+	}
+	co := d.env.Costs
+	p.Charge(cycles.TagRxParse, co.RxParse)
+	p.Charge(cycles.TagOther, co.PktCost(c.Len))
+
+	dropped := false
+	var payload []byte
+	if d.Firewall != nil || d.OnDeliver != nil {
+		payload = make([]byte, c.Len)
+		if err := d.env.Mem.Read(buf.Addr, payload); err != nil {
+			return err
+		}
+	}
+	if d.Firewall != nil && !d.Firewall(p, payload) {
+		d.FirewallDrops++
+		dropped = true
+	}
+	if !dropped {
+		// copy_to_user; Work (not Charge) so device-side events can
+		// interleave with packet consumption, as on real hardware.
+		p.Work(cycles.TagCopyUser, co.CopyUser(c.Len))
+		if d.OnDeliver != nil {
+			// The application reads the buffer NOW — if a malicious
+			// device modified it after the firewall check, this is
+			// where the corruption bites.
+			if err := d.env.Mem.Read(buf.Addr, payload); err != nil {
+				return err
+			}
+			d.OnDeliver(p, payload)
+		}
+		st.Bytes += uint64(c.Len)
+		st.Frames++
+		*msgAcc += c.Len
+		for *msgAcc >= msgSize {
+			*msgAcc -= msgSize
+			st.Messages++
+			p.Charge(cycles.TagOther, co.MsgOther)
+		}
+	}
+	// Recycle the buffer: remap and repost.
+	return d.postRxBuf(p, q, buf)
+}
+
+// RunRxStream is the netperf TCP_STREAM receive loop for one core: wait
+// for interrupts, drain completions, process, repost. It runs until the
+// engine stops it.
+func (d *Driver) RunRxStream(p *sim.Proc, qi, msgSize int, st *RxStats) error {
+	q := d.n.Queue(qi)
+	msgAcc := 0
+	co := d.env.Costs
+	for {
+		if !q.HasRx() {
+			q.RxCond.WaitUntil(p, q.HasRx)
+			p.Sleep(co.SchedLatency)
+		}
+		p.Charge(cycles.TagOther, co.InterruptEntry)
+		for _, c := range q.DrainRx() {
+			if err := d.handleRx(p, q, c, msgSize, &msgAcc, st); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// TxStats accumulates transmit-side results.
+type TxStats struct {
+	Bytes    uint64 // completed (acknowledged) payload bytes
+	Skbs     uint64
+	Messages uint64
+}
+
+// TxPool is the driver's per-queue pool of transmit buffers.
+type TxPool struct {
+	free []mem.Buf
+}
+
+// NewTxPool allocates n transmit buffers of the NIC's maximum skb size on
+// the calling core's NUMA domain.
+func (d *Driver) NewTxPool(p *sim.Proc, n int) (*TxPool, error) {
+	pool := &TxPool{}
+	domain := d.bufDomain(p.Core())
+	for i := 0; i < n; i++ {
+		b, err := d.k.Alloc(domain, d.n.MaxTxBuf())
+		if err != nil {
+			return nil, err
+		}
+		pool.free = append(pool.free, b)
+	}
+	return pool, nil
+}
+
+// HandleRxRaw processes one receive completion for request-oriented
+// servers (e.g. the key-value store): dma_unmap, per-packet stack costs,
+// payload extraction, buffer recycle. It returns the packet payload.
+func (d *Driver) HandleRxRaw(p *sim.Proc, qi int, c nic.RxCompletion) ([]byte, error) {
+	q := d.n.Queue(qi)
+	buf := c.Desc.Tag.(mem.Buf)
+	if err := d.mapper.Unmap(p, c.Desc.Addr, buf.Size, dmaapi.FromDevice); err != nil {
+		return nil, err
+	}
+	co := d.env.Costs
+	p.Charge(cycles.TagRxParse, co.RxParse)
+	p.Charge(cycles.TagOther, co.PktCost(c.Len))
+	payload := make([]byte, c.Len)
+	if err := d.env.Mem.Read(buf.Addr, payload); err != nil {
+		return nil, err
+	}
+	p.Work(cycles.TagCopyUser, co.CopyUser(c.Len))
+	if err := d.postRxBuf(p, q, buf); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// RunTxStream is the netperf TCP_STREAM transmit loop for one core:
+// repeatedly write msgSize bytes to the socket, segment into TSO-sized
+// skbs, dma_map and post each, recycling buffers as completions arrive.
+func (d *Driver) RunTxStream(p *sim.Proc, qi, msgSize int, st *TxStats) error {
+	q := d.n.Queue(qi)
+	maxSkb := d.n.MaxTxBuf()
+	domain := d.bufDomain(p.Core())
+	pool := &TxPool{}
+	// The in-flight skb budget models the socket send buffer / qdisc
+	// limit, not the full hardware ring.
+	bufs := q.TxRing.Size()
+	if bufs > 64 {
+		bufs = 64
+	}
+	for i := 0; i < bufs; i++ {
+		b, err := d.k.Alloc(domain, maxSkb)
+		if err != nil {
+			return err
+		}
+		pool.free = append(pool.free, b)
+	}
+	for {
+		if err := d.SendMessage(p, q, pool, msgSize, st); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package netstack
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+type rig struct {
+	eng    *sim.Engine
+	m      *mem.Memory
+	u      *iommu.IOMMU
+	env    *dmaapi.Env
+	n      *nic.NIC
+	k      *mem.Kmalloc
+	d      *Driver
+	mapper dmaapi.Mapper
+	costs  *cycles.Costs
+}
+
+func newRig(t *testing.T, system string, cores int) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := mem.New(2)
+	costs := cycles.Default()
+	u := iommu.New(eng, m, costs)
+	env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: costs, Dev: 1, Cores: cores}
+	var mapper dmaapi.Mapper
+	var err error
+	switch system {
+	case "copy":
+		mapper, err = core.NewShadowMapper(env, core.WithHint(PacketLenHint))
+	case "noiommu":
+		mapper = dmaapi.NewNoIOMMU(env)
+	case "strict":
+		mapper = dmaapi.NewLinux(env, false)
+	default:
+		t.Fatalf("unknown system %s", system)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nic.New(eng, u, nic.Config{Dev: 1, Queues: cores, RingSize: 64, MTU: 1500, TSO: true, Costs: costs})
+	k := mem.NewKmalloc(m, nil)
+	d := NewDriver(env, mapper, n, k, 2048)
+	return &rig{eng: eng, m: m, u: u, env: env, n: n, k: k, d: d, mapper: mapper, costs: costs}
+}
+
+func TestRxStreamDeliversTraffic(t *testing.T) {
+	for _, sys := range []string{"noiommu", "copy", "strict"} {
+		r := newRig(t, sys, 1)
+		var st RxStats
+		r.eng.Spawn("rx", 0, 0, func(p *sim.Proc) {
+			if err := r.d.SetupQueue(p, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = r.d.RunRxStream(p, 0, 4096, &st)
+		})
+		src := nic.NewSource(r.eng, r.n.Queue(0), r.costs, 4096, 1500, true)
+		src.Start(0)
+		r.eng.Run(cycles.FromMillis(2))
+		r.eng.Stop()
+		if st.Frames == 0 || st.Bytes == 0 || st.Messages == 0 {
+			t.Errorf("%s: no traffic delivered: %+v", sys, st)
+		}
+		if r.n.RxNoBufDrops != 0 {
+			t.Errorf("%s: buffer recycling failed, %d no-buf drops", sys, r.n.RxNoBufDrops)
+		}
+		if r.n.RxFaults != 0 {
+			t.Errorf("%s: benign traffic faulted %d times", sys, r.n.RxFaults)
+		}
+	}
+}
+
+func TestTxStreamCompletesSkbs(t *testing.T) {
+	for _, sys := range []string{"noiommu", "copy", "strict"} {
+		r := newRig(t, sys, 1)
+		var st TxStats
+		r.eng.Spawn("tx", 0, 0, func(p *sim.Proc) {
+			_ = r.d.RunTxStream(p, 0, 65536, &st)
+		})
+		r.eng.Run(cycles.FromMillis(3))
+		r.eng.Stop()
+		if st.Skbs == 0 || st.Bytes == 0 {
+			t.Errorf("%s: no transmit completions: %+v", sys, st)
+		}
+		// TSO: 64 KiB messages become one skb each.
+		if st.Skbs > st.Messages {
+			t.Errorf("%s: %d skbs for %d messages (TSO should give 1:1)", sys, st.Skbs, st.Messages)
+		}
+		if r.n.TxFaults != 0 {
+			t.Errorf("%s: TX faulted %d times", sys, r.n.TxFaults)
+		}
+	}
+}
+
+func TestPacketLenHintParsesAndClamps(t *testing.T) {
+	m := mem.New(1)
+	addr, _ := m.AllocPages(0, 1)
+	sh := mem.Buf{Addr: addr, Size: 2048}
+	m.Write(addr, []byte{0x01, 0x2c}) // length 300
+	if got := PacketLenHint(m, sh, 2048); got != 300 {
+		t.Errorf("hint = %d, want 300", got)
+	}
+	// Hostile length beyond the mapping: fall back to full copy.
+	m.Write(addr, []byte{0xff, 0xff})
+	if got := PacketLenHint(m, sh, 2048); got != 2048 {
+		t.Errorf("oversize hint = %d, want clamp to 2048", got)
+	}
+	// Degenerate values.
+	m.Write(addr, []byte{0x00, 0x01})
+	if got := PacketLenHint(m, sh, 2048); got != 2048 {
+		t.Errorf("undersize hint = %d, want 2048", got)
+	}
+	if got := PacketLenHint(m, mem.Buf{Addr: addr, Size: 1}, 2048); got != 2048 {
+		t.Error("tiny shadow buffer should fall back")
+	}
+}
+
+func TestFirewallDropsPackets(t *testing.T) {
+	r := newRig(t, "copy", 1)
+	var st RxStats
+	r.d.Firewall = func(p *sim.Proc, pkt []byte) bool {
+		return len(pkt) > 0 && pkt[len(pkt)-1] != 0xBD // drop marked packets
+	}
+	r.eng.Spawn("rx", 0, 0, func(p *sim.Proc) {
+		if err := r.d.SetupQueue(p, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		_ = r.d.RunRxStream(p, 0, 1000, &st)
+	})
+	src := nic.NewSource(r.eng, r.n.Queue(0), r.costs, 1000, 1500, true)
+	src.SetPayload(func(seq, _ int, b []byte) {
+		b[0] = byte(len(b) >> 8)
+		b[1] = byte(len(b))
+		if seq%2 == 0 {
+			b[len(b)-1] = 0xBD
+		} else {
+			b[len(b)-1] = 0
+		}
+	})
+	src.Start(0)
+	r.eng.Run(cycles.FromMillis(2))
+	r.eng.Stop()
+	if r.d.FirewallDrops == 0 {
+		t.Error("firewall never dropped")
+	}
+	if st.Frames == 0 {
+		t.Error("firewall dropped everything")
+	}
+	total := r.d.FirewallDrops + st.Frames
+	ratio := float64(r.d.FirewallDrops) / float64(total)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("drop ratio = %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestOnDeliverSeesPayloadBytes(t *testing.T) {
+	r := newRig(t, "copy", 1)
+	var st RxStats
+	seen := 0
+	r.d.OnDeliver = func(p *sim.Proc, pkt []byte) {
+		// Default source payload: 2-byte length header then zeros.
+		if len(pkt) >= 2 && int(pkt[0])<<8|int(pkt[1]) == len(pkt) {
+			seen++
+		}
+	}
+	r.eng.Spawn("rx", 0, 0, func(p *sim.Proc) {
+		if err := r.d.SetupQueue(p, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		_ = r.d.RunRxStream(p, 0, 1000, &st)
+	})
+	src := nic.NewSource(r.eng, r.n.Queue(0), r.costs, 1000, 1500, true)
+	src.Start(0)
+	r.eng.Run(cycles.FromMillis(1))
+	r.eng.Stop()
+	if seen == 0 {
+		t.Error("OnDeliver never saw a valid payload")
+	}
+	if uint64(seen) != st.Frames {
+		t.Errorf("OnDeliver saw %d of %d frames with intact headers", seen, st.Frames)
+	}
+}
+
+func TestRRRoundTrips(t *testing.T) {
+	r := newRig(t, "copy", 1)
+	var st RRServerStats
+	r.eng.Spawn("rr", 0, 0, func(p *sim.Proc) {
+		if err := r.d.SetupQueue(p, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		_ = r.d.RunRRServer(p, 0, 1024, &st)
+	})
+	client := NewRRClient(r.eng, r.n, 0, r.costs, 1024)
+	client.Start(cycles.FromMicros(50))
+	r.eng.Run(cycles.FromMillis(5))
+	r.eng.Stop()
+	if client.Transactions < 10 {
+		t.Fatalf("transactions = %d", client.Transactions)
+	}
+	lat := cycles.Micros(client.MeanLatency())
+	if lat <= 0 || lat > 100 {
+		t.Errorf("mean latency = %.1f us", lat)
+	}
+	if st.Rx.Messages != st.Tx.Messages {
+		t.Errorf("server rx %d / tx %d messages mismatch", st.Rx.Messages, st.Tx.Messages)
+	}
+}
+
+func TestSendMessageDataCarriesRealBytes(t *testing.T) {
+	r := newRig(t, "copy", 1)
+	payload := []byte("response-payload-with-real-content")
+	var captured []byte
+	r.n.TxDMAHook = func(q int, addr iommu.IOVA, n int) {
+		buf := make([]byte, n)
+		if res := r.u.DMARead(99, addr, buf); res.Fault == nil {
+			captured = buf
+		}
+	}
+	// Device 99 is a second observer with passthrough? No: read via the
+	// real device id so the shadow mapping applies.
+	r.n.TxDMAHook = func(q int, addr iommu.IOVA, n int) {
+		buf := make([]byte, n)
+		if res := r.u.DMARead(1, addr, buf); res.Fault == nil {
+			captured = buf
+		}
+	}
+	var st TxStats
+	r.eng.Spawn("tx", 0, 0, func(p *sim.Proc) {
+		pool, err := r.d.NewTxPool(p, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.d.SendMessageData(p, r.n.Queue(0), pool, payload, &st); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run(cycles.FromMillis(1))
+	r.eng.Stop()
+	if string(captured) != string(payload) {
+		t.Errorf("device read %q, want %q", captured, payload)
+	}
+}
+
+func TestStopMidTrafficIsClean(t *testing.T) {
+	r := newRig(t, "strict", 2)
+	for c := 0; c < 2; c++ {
+		c := c
+		r.eng.Spawn("rx", c, 0, func(p *sim.Proc) {
+			if err := r.d.SetupQueue(p, c); err != nil {
+				t.Error(err)
+				return
+			}
+			var st RxStats
+			_ = r.d.RunRxStream(p, c, 1500, &st)
+		})
+		src := nic.NewSource(r.eng, r.n.Queue(c), r.costs, 1500, 1500, true)
+		src.Start(0)
+	}
+	r.eng.Run(cycles.FromMicros(500))
+	r.eng.Stop() // must not hang or panic with procs blocked in waits
+}

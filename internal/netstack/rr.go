@@ -1,0 +1,202 @@
+package netstack
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/mem"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// Request/response (netperf TCP_RR) support: a remote client sends a
+// message of msgSize bytes and measures the time until it receives a
+// response of the same size, with a single transaction outstanding
+// (paper Figure 9).
+
+// RRServerStats accumulates server-side results.
+type RRServerStats struct {
+	Rx RxStats
+	Tx TxStats
+}
+
+// RunRRServer runs the server side on one core: receive a full request,
+// transmit an equal-sized response, repeat.
+func (d *Driver) RunRRServer(p *sim.Proc, qi, msgSize int, st *RRServerStats) error {
+	q := d.n.Queue(qi)
+	co := d.env.Costs
+	maxSkb := d.n.MaxTxBuf()
+	domain := d.env.DomainOfCore(p.Core())
+	pool := &TxPool{}
+	for i := 0; i < 8; i++ {
+		b, err := d.k.Alloc(domain, maxSkb)
+		if err != nil {
+			return err
+		}
+		pool.free = append(pool.free, b)
+	}
+	msgAcc := 0
+	for {
+		// Receive one full request.
+		start := st.Rx.Messages
+		for st.Rx.Messages == start {
+			if !q.HasRx() {
+				q.RxCond.WaitUntil(p, q.HasRx)
+				p.Sleep(co.SchedLatency)
+			}
+			p.Charge(cycles.TagOther, co.InterruptEntry)
+			for _, c := range q.DrainRx() {
+				if err := d.handleRx(p, q, c, msgSize, &msgAcc, &st.Rx); err != nil {
+					return err
+				}
+			}
+		}
+		// Send the response.
+		if err := d.SendMessage(p, q, pool, msgSize, &st.Tx); err != nil {
+			return err
+		}
+	}
+}
+
+// SendMessage performs one socket write of msgSize bytes: copy from user,
+// segment into skbs, dma_map and post each.
+func (d *Driver) SendMessage(p *sim.Proc, q *nic.Queue, pool *TxPool, msgSize int, st *TxStats) error {
+	return d.sendMessage(p, q, pool, msgSize, nil, st)
+}
+
+// SendMessageData is SendMessage with real payload bytes: the data is
+// written into the transmit buffers, so the device (and through it the
+// remote machine) observes actual content — required by the key-value
+// store and the attack scenarios.
+func (d *Driver) SendMessageData(p *sim.Proc, q *nic.Queue, pool *TxPool, data []byte, st *TxStats) error {
+	return d.sendMessage(p, q, pool, len(data), data, st)
+}
+
+func (d *Driver) sendMessage(p *sim.Proc, q *nic.Queue, pool *TxPool, msgSize int, data []byte, st *TxStats) error {
+	co := d.env.Costs
+	maxSkb := d.n.MaxTxBuf()
+	p.Charge(cycles.TagOther, co.MsgOther)
+	p.Charge(cycles.TagCopyUser, co.CopyUser(msgSize))
+	st.Messages++
+	drain := func() error {
+		for _, dd := range q.DrainTx() {
+			used := dd.Tag.(mem.Buf)
+			if err := d.mapper.Unmap(p, dd.Addr, used.Size, dmaapi.ToDevice); err != nil {
+				return err
+			}
+			st.Bytes += uint64(used.Size)
+			st.Skbs++
+			pool.free = append(pool.free, mem.Buf{Addr: used.Addr, Size: maxSkb})
+		}
+		return nil
+	}
+	remaining := msgSize
+	for remaining > 0 {
+		skb := remaining
+		if skb > maxSkb {
+			skb = maxSkb
+		}
+		if err := drain(); err != nil {
+			return err
+		}
+		for len(pool.free) == 0 {
+			q.TxCond.WaitUntil(p, q.HasTx)
+			p.Sleep(co.SchedLatency)
+			if err := drain(); err != nil {
+				return err
+			}
+		}
+		b := pool.free[len(pool.free)-1]
+		pool.free = pool.free[:len(pool.free)-1]
+		use := mem.Buf{Addr: b.Addr, Size: skb}
+		if data != nil {
+			off := msgSize - remaining
+			if err := d.env.Mem.Write(use.Addr, data[off:off+skb]); err != nil {
+				return err
+			}
+		}
+		addr, err := d.mapper.Map(p, use, dmaapi.ToDevice)
+		if err != nil {
+			return err
+		}
+		p.Charge(cycles.TagOther, co.TxSkb(skb))
+		for !q.PostTx(p, nic.Desc{Addr: addr, Len: skb, Tag: use}) {
+			q.TxCond.WaitUntil(p, q.HasTx)
+			p.Sleep(co.SchedLatency)
+			if err := drain(); err != nil {
+				return err
+			}
+		}
+		remaining -= skb
+	}
+	return nil
+}
+
+// RRClient is the remote netperf TCP_RR client: one outstanding
+// transaction, latency measured from request start to the arrival of the
+// response's last byte.
+type RRClient struct {
+	eng     *sim.Engine
+	src     *nic.Source
+	costs   *cycles.Costs
+	msgSize int
+	qi      int
+
+	respAcc int
+	sentAt  uint64
+
+	Samples      []uint64
+	Transactions uint64
+}
+
+// NewRRClient builds the client for queue qi and installs its response
+// observer on the NIC.
+func NewRRClient(eng *sim.Engine, n *nic.NIC, qi int, costs *cycles.Costs, msgSize int) *RRClient {
+	c := &RRClient{
+		eng:     eng,
+		costs:   costs,
+		msgSize: msgSize,
+		qi:      qi,
+	}
+	c.src = nic.NewSource(eng, n.Queue(qi), costs, msgSize, n.Config().MTU, false)
+	prev := n.TxDeliveredHook
+	n.TxDeliveredHook = func(q int, at uint64, b int) {
+		if prev != nil {
+			prev(q, at, b)
+		}
+		if q == qi {
+			c.onResponseBytes(at, b)
+		}
+	}
+	return c
+}
+
+// Start issues the first request at time t.
+func (c *RRClient) Start(t uint64) {
+	c.sentAt = t
+	c.eng.Schedule(t, func(now uint64) { c.src.EnqueueMessage(now) })
+}
+
+func (c *RRClient) onResponseBytes(at uint64, b int) {
+	c.respAcc += b
+	if c.respAcc < c.msgSize {
+		return
+	}
+	c.respAcc -= c.msgSize
+	c.Samples = append(c.Samples, at-c.sentAt)
+	c.Transactions++
+	next := at + c.costs.ClientOverhead
+	c.sentAt = next
+	c.eng.Schedule(next, func(now uint64) { c.src.EnqueueMessage(now) })
+}
+
+// MeanLatency returns the average round-trip time in cycles.
+func (c *RRClient) MeanLatency() uint64 {
+	if len(c.Samples) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, s := range c.Samples {
+		sum += s
+	}
+	return sum / uint64(len(c.Samples))
+}

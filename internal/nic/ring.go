@@ -1,0 +1,64 @@
+package nic
+
+import (
+	"repro/internal/iommu"
+)
+
+// Desc is a DMA descriptor: an IOVA handed to the device plus a length.
+type Desc struct {
+	Addr iommu.IOVA
+	Len  int
+	// Tag carries driver-private context (e.g. which buffer backs the
+	// descriptor); the device never interprets it.
+	Tag interface{}
+}
+
+// Ring is a fixed-size circular descriptor ring. The driver posts at the
+// tail; the device consumes from the head. With the engine's run-one-
+// at-a-time semantics no internal locking is needed, mirroring the
+// single-producer/single-consumer discipline of real per-queue rings.
+type Ring struct {
+	slots []Desc
+	head  int // next to consume (device)
+	tail  int // next to fill (driver)
+	count int
+}
+
+// NewRing creates a ring with the given number of descriptor slots.
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = 256
+	}
+	return &Ring{slots: make([]Desc, size)}
+}
+
+// Size returns the ring capacity.
+func (r *Ring) Size() int { return len(r.slots) }
+
+// Len returns the number of posted, unconsumed descriptors.
+func (r *Ring) Len() int { return r.count }
+
+// Full reports whether no slots are free.
+func (r *Ring) Full() bool { return r.count == len(r.slots) }
+
+// Post adds a descriptor at the tail; it reports false when full.
+func (r *Ring) Post(d Desc) bool {
+	if r.Full() {
+		return false
+	}
+	r.slots[r.tail] = d
+	r.tail = (r.tail + 1) % len(r.slots)
+	r.count++
+	return true
+}
+
+// Pop consumes the head descriptor; ok is false when the ring is empty.
+func (r *Ring) Pop() (Desc, bool) {
+	if r.count == 0 {
+		return Desc{}, false
+	}
+	d := r.slots[r.head]
+	r.head = (r.head + 1) % len(r.slots)
+	r.count--
+	return d, true
+}

@@ -1,0 +1,129 @@
+// Package shadow implements the paper's shadow DMA buffer pool (§5.3): a
+// fast, scalable, NUMA-aware segregated free-list allocator of permanently
+// IOMMU-mapped buffers, with the IOVA metadata encoding of Figure 2 and the
+// fallback path for metadata-array exhaustion.
+package shadow
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/iommu"
+)
+
+// IOVA layout (paper Figure 2, generalized to >2 size classes):
+//
+//	bit 47      : 1  => this IOVA encodes shadow-buffer metadata
+//	bits 40..46 : owner core id (7 bits)
+//	bits 38..39 : access rights (r / w / rw)
+//	bits 37-..37: size class (1 bit for two classes, more if configured)
+//	bits 0..    : metadata index << log2(classSize) | offset-in-buffer
+//
+// The half of the IOVA space with bit 47 clear is the fallback region,
+// allocated by an external scalable IOVA allocator with an external hash
+// table for metadata (paper §5.3, "IOVA encodings").
+const (
+	shadowFlagShift = 47
+	coreShift       = 40
+	coreBits        = 7
+	rightsShift     = 38
+	rightsBits      = 2
+)
+
+// rightsIndex maps a permission to its free-list rights class.
+func rightsIndex(r iommu.Perm) (int, error) {
+	switch r {
+	case iommu.PermRead:
+		return 0, nil
+	case iommu.PermWrite:
+		return 1, nil
+	case iommu.PermRW:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("shadow: invalid rights %v", r)
+}
+
+// rightsOf is the inverse of rightsIndex.
+var rightsOf = [3]iommu.Perm{iommu.PermRead, iommu.PermWrite, iommu.PermRW}
+
+// encoding precomputes the field layout for a configured set of size
+// classes.
+type encoding struct {
+	classBits  int
+	classShift int
+	log2Class  []int // per class index
+}
+
+func newEncoding(classes []int) (*encoding, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("shadow: no size classes")
+	}
+	cb := bits.Len(uint(len(classes) - 1))
+	if cb == 0 {
+		cb = 1
+	}
+	e := &encoding{classBits: cb, classShift: rightsShift - cb}
+	for _, c := range classes {
+		if c <= 0 || c&(c-1) != 0 {
+			return nil, fmt.Errorf("shadow: size class %d not a power of two", c)
+		}
+		e.log2Class = append(e.log2Class, bits.TrailingZeros(uint(c)))
+	}
+	return e, nil
+}
+
+// maxIndex returns the largest metadata index encodable for a class.
+func (e *encoding) maxIndex(class int) uint64 {
+	return uint64(1) << (e.classShift - e.log2Class[class])
+}
+
+// encode builds a shadow IOVA. offset is the byte offset within the shadow
+// buffer (zero for the buffer's base IOVA).
+func (e *encoding) encode(core, rights, class int, index uint64) iommu.IOVA {
+	v := uint64(1) << shadowFlagShift
+	v |= uint64(core) << coreShift
+	v |= uint64(rights) << rightsShift
+	v |= uint64(class) << e.classShift
+	v |= index << e.log2Class[class]
+	return iommu.IOVA(v)
+}
+
+// decoded holds the fields extracted from a shadow IOVA.
+type decoded struct {
+	core   int
+	rights int
+	class  int
+	index  uint64
+	offset int
+}
+
+// IsShadow reports whether an IOVA lies in the shadow (metadata-encoding)
+// half of the address space.
+func IsShadow(v iommu.IOVA) bool {
+	return uint64(v)>>shadowFlagShift&1 == 1
+}
+
+// decode extracts the metadata fields from a shadow IOVA. When decoding we
+// "first identify the appropriate size class and then extract the metadata
+// index" (paper §5.3), because the class determines how many low bits are
+// buffer offset.
+func (e *encoding) decode(v iommu.IOVA) (decoded, error) {
+	if !IsShadow(v) {
+		return decoded{}, fmt.Errorf("shadow: %#x is not a shadow IOVA", uint64(v))
+	}
+	d := decoded{
+		core:   int(uint64(v) >> coreShift & (1<<coreBits - 1)),
+		rights: int(uint64(v) >> rightsShift & (1<<rightsBits - 1)),
+		class:  int(uint64(v) >> e.classShift & (1<<e.classBits - 1)),
+	}
+	if d.class >= len(e.log2Class) {
+		return decoded{}, fmt.Errorf("shadow: IOVA %#x encodes unknown class %d", uint64(v), d.class)
+	}
+	if d.rights >= len(rightsOf) {
+		return decoded{}, fmt.Errorf("shadow: IOVA %#x encodes unknown rights %d", uint64(v), d.rights)
+	}
+	lc := e.log2Class[d.class]
+	d.offset = int(uint64(v) & (1<<lc - 1))
+	d.index = uint64(v) & (1<<e.classShift - 1) >> lc
+	return d, nil
+}

@@ -1,0 +1,102 @@
+package shadow
+
+import (
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Meta is a shadow buffer's metadata structure (paper Fig 2). While the
+// buffer is free, Meta doubles as a node of its free list; while acquired,
+// it records the OS buffer being shadowed so find_shadow can locate it.
+// Metadata lives on the kernel side only — it is never IOMMU-mapped, so the
+// device cannot touch it.
+type Meta struct {
+	core   int // owner core (the list it always returns to — stickiness)
+	rights int
+	class  int
+	index  uint64
+	isFB   bool // allocated through the fallback path
+
+	iova   iommu.IOVA
+	shadow mem.Buf // the permanently mapped shadow buffer
+	osBuf  mem.Buf // associated OS buffer while acquired
+
+	acquired bool
+	next     *Meta
+}
+
+// IOVA returns the shadow buffer's base IOVA.
+func (m *Meta) IOVA() iommu.IOVA { return m.iova }
+
+// Shadow returns the shadow buffer.
+func (m *Meta) Shadow() mem.Buf { return m.shadow }
+
+// OSBuf returns the OS buffer currently associated with the shadow buffer.
+func (m *Meta) OSBuf() mem.Buf { return m.osBuf }
+
+// Rights returns the device access rights of the shadow buffer.
+func (m *Meta) Rights() iommu.Perm { return rightsOf[m.rights] }
+
+// Fallback reports whether the buffer was allocated via the fallback path.
+func (m *Meta) Fallback() bool { return m.isFB }
+
+// freeList is one segregated free list: buffers of one (core, class,
+// rights) triple. Acquires pop the head and are performed only by the
+// owner core, with no lock; releases append at the tail under a small tail
+// lock that is co-located with the tail pointer (paper §5.3, "Free list
+// synchronization"). Head and tail live on distinct cache lines so owner
+// acquires do not bounce the releasers' line.
+type freeList struct {
+	tailLock *sim.Spinlock
+	head     *Meta
+	tail     *Meta
+	size     int
+}
+
+// pop removes the head buffer (owner core only, lockless).
+func (l *freeList) pop() *Meta {
+	m := l.head
+	if m == nil {
+		return nil
+	}
+	l.head = m.next
+	if l.head == nil {
+		l.tail = nil
+	}
+	m.next = nil
+	l.size--
+	return m
+}
+
+// push appends a buffer at the tail, under the tail lock. If the list was
+// empty the head is updated too — safe because an owner that found the
+// list empty has already gone off to allocate a fresh buffer (paper §5.3).
+func (l *freeList) push(p *sim.Proc, m *Meta) {
+	l.tailLock.Lock(p)
+	m.next = nil
+	if l.tail == nil {
+		l.head = m
+		l.tail = m
+	} else {
+		l.tail.next = m
+		l.tail = m
+	}
+	l.size++
+	l.tailLock.Unlock(p)
+}
+
+// drain removes and returns every free buffer (memory-pressure trimming).
+func (l *freeList) drain(p *sim.Proc) []*Meta {
+	l.tailLock.Lock(p)
+	var all []*Meta
+	for m := l.head; m != nil; {
+		next := m.next
+		m.next = nil
+		all = append(all, m)
+		m = next
+	}
+	l.head, l.tail, l.size = nil, nil, 0
+	l.tailLock.Unlock(p)
+	return all
+}

@@ -1,0 +1,168 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestPoolRandomizedInvariants drives random acquire/find/release/trim
+// traffic across multiple cores and checks the pool's global invariants
+// after every step:
+//
+//  1. live IOVAs are unique and Find is a correct inverse of Acquire,
+//  2. every page backing shadow buffers holds only same-rights buffers,
+//  3. a live shadow buffer is always device-accessible with exactly its
+//     rights,
+//  4. footprint accounting matches the allocations made.
+func TestPoolRandomizedInvariants(t *testing.T) {
+	cfg := Config{
+		SizeClasses:  []int{512, 4096, 65536},
+		MaxPerClass:  64, // small, to exercise the fallback path too
+		Cores:        4,
+		Domains:      2,
+		DomainOfCore: func(c int) int { return c / 2 },
+	}
+	r := newRig(t, cfg)
+	rights := []iommu.Perm{iommu.PermRead, iommu.PermWrite, iommu.PermRW}
+
+	type liveBuf struct {
+		m *Meta
+	}
+	live := make(map[iommu.IOVA]*liveBuf)
+	pageRights := map[uint64]iommu.Perm{}
+
+	for core := 0; core < cfg.Cores; core++ {
+		core := core
+		r.runOn(t, core, func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(int64(100 + core)))
+			var mine []*Meta
+			for step := 0; step < 400; step++ {
+				if len(mine) > 0 && rng.Intn(100) < 45 {
+					i := rng.Intn(len(mine))
+					m := mine[i]
+					mine[i] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					delete(live, m.IOVA())
+					r.pool.Release(p, m)
+					continue
+				}
+				size := 1 + rng.Intn(60000)
+				rt := rights[rng.Intn(3)]
+				m, err := r.pool.Acquire(p, mem.Buf{Addr: 0x1000, Size: size}, size, rt)
+				if err != nil {
+					t.Errorf("core %d: acquire(%d): %v", core, size, err)
+					return
+				}
+				// Invariant 1: IOVA uniqueness among live buffers.
+				if _, dup := live[m.IOVA()]; dup {
+					t.Errorf("duplicate live IOVA %#x", uint64(m.IOVA()))
+					return
+				}
+				live[m.IOVA()] = &liveBuf{m: m}
+				mine = append(mine, m)
+				// Find is an inverse of Acquire.
+				got, err := r.pool.Find(p, m.IOVA())
+				if err != nil || got != m {
+					t.Errorf("find(%#x) = %v, %v", uint64(m.IOVA()), got, err)
+					return
+				}
+				// Invariant 2: same rights per physical page.
+				for pfn := m.Shadow().Addr.PFN(); pfn <= (m.Shadow().End() - 1).PFN(); pfn++ {
+					if prev, ok := pageRights[pfn]; ok && prev != m.Rights() {
+						t.Errorf("page %#x holds %v and %v buffers", pfn, prev, m.Rights())
+						return
+					}
+					pageRights[pfn] = m.Rights()
+				}
+				// Invariant 3: device access matches rights exactly.
+				if _, _, f := r.u.Translate(1, m.IOVA(), m.Rights()); f != nil {
+					t.Errorf("live shadow buffer inaccessible: %v", f)
+					return
+				}
+				if m.Rights() != iommu.PermRW {
+					other := iommu.PermRead
+					if m.Rights() == iommu.PermRead {
+						other = iommu.PermWrite
+					}
+					if _, _, f := r.u.Translate(1, m.IOVA(), other); f == nil {
+						t.Errorf("shadow buffer accessible with wrong rights")
+						return
+					}
+				}
+				p.Work("think", uint64(rng.Intn(500)))
+			}
+		})
+	}
+	r.eng.Run(1 << 50)
+	r.eng.Stop()
+
+	// Invariant 4: footprint accounting is consistent.
+	st := r.pool.Stats()
+	if st.TotalBytes() == 0 {
+		t.Error("pool should have grown")
+	}
+	if st.Grows == 0 || st.Acquires == 0 || st.Releases == 0 {
+		t.Errorf("stats look wrong: %+v", st)
+	}
+	if st.FallbackBuffers == 0 {
+		t.Error("MaxPerClass=64 should have forced fallback allocations")
+	}
+	// Each grow of class c allocates max(classSize, PageSize) bytes;
+	// verify the sum matches BytesByClass.
+	var total uint64
+	for _, b := range st.BytesByClass {
+		total += b
+	}
+	if total != st.TotalBytes() {
+		t.Errorf("footprint accounting inconsistent: %d vs %d", total, st.TotalBytes())
+	}
+}
+
+// TestPoolFallbackAndPrimaryCoexist checks Find across a mixed population
+// of encoded and fallback IOVAs after heavy churn.
+func TestPoolFallbackAndPrimaryCoexist(t *testing.T) {
+	cfg := defaultCfg(1)
+	cfg.MaxPerClass = 8
+	r := newRig(t, cfg)
+	r.run(t, func(p *sim.Proc) {
+		var metas []*Meta
+		for i := 0; i < 50; i++ {
+			m, err := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 8}, 4096, iommu.PermRW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			metas = append(metas, m)
+		}
+		primary, fallback := 0, 0
+		for _, m := range metas {
+			if m.Fallback() {
+				fallback++
+			} else {
+				primary++
+			}
+			got, err := r.pool.Find(p, m.IOVA())
+			if err != nil || got != m {
+				t.Fatalf("find failed for %v-path IOVA %#x", m.Fallback(), uint64(m.IOVA()))
+			}
+		}
+		if primary != 8 || fallback != 42 {
+			t.Errorf("primary=%d fallback=%d, want 8/42", primary, fallback)
+		}
+		// Release all and re-acquire: both kinds must be reusable.
+		for _, m := range metas {
+			r.pool.Release(p, m)
+		}
+		for i := 0; i < 50; i++ {
+			if _, err := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 8}, 4096, iommu.PermRW); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r.pool.Stats().Grows != 50 {
+			t.Errorf("reacquire should reuse, grows = %d", r.pool.Stats().Grows)
+		}
+	})
+}

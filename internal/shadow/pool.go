@@ -1,0 +1,450 @@
+package shadow
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/iova"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a shadow buffer pool.
+type Config struct {
+	// SizeClasses are the shadow buffer sizes, ascending powers of two.
+	// The paper's prototype uses {4 KiB, 64 KiB}.
+	SizeClasses []int
+	// MaxPerClass bounds the metadata array of each (NUMA domain, class);
+	// beyond it the fallback path kicks in. The paper uses "a more
+	// practical bound of 16K buffers".
+	MaxPerClass uint64
+	// Cores is the number of CPU cores (≤128, per the 7-bit core field).
+	Cores int
+	// Domains is the number of NUMA domains.
+	Domains int
+	// DomainOfCore maps a core to its NUMA domain.
+	DomainOfCore func(core int) int
+}
+
+// DefaultConfig returns the paper prototype's configuration.
+func DefaultConfig(cores, domains int, domainOf func(int) int) Config {
+	return Config{
+		SizeClasses:  []int{4096, 65536},
+		MaxPerClass:  16384,
+		Cores:        cores,
+		Domains:      domains,
+		DomainOfCore: domainOf,
+	}
+}
+
+// PoolStats counts pool activity and footprint.
+type PoolStats struct {
+	Acquires, Releases, Finds uint64
+	Grows                     uint64
+	CacheHits                 uint64
+	ListHits                  uint64
+	FallbackBuffers           uint64
+	Trims                     uint64
+	// BytesByClass is the memory currently backing shadow buffers, per
+	// size class (the §6 "memory consumption" measurement).
+	BytesByClass []uint64
+}
+
+// TotalBytes returns the pool's total shadow-buffer footprint.
+func (s PoolStats) TotalBytes() uint64 {
+	var t uint64
+	for _, b := range s.BytesByClass {
+		t += b
+	}
+	return t
+}
+
+// Pool is a per-device shadow DMA buffer pool (paper Table 2 / §5.3).
+type Pool struct {
+	eng   *sim.Engine
+	mem   *mem.Memory
+	u     *iommu.IOMMU
+	costs *cycles.Costs
+	dev   iommu.DeviceID
+
+	cfg Config
+	enc *encoding
+
+	// lists[core][class][rights]
+	lists [][][3]*freeList
+	// cache[core][class][rights]: private per-core cache of chunk
+	// remainders (never contended, no lock).
+	cache [][][3][]*Meta
+
+	domains []*domainState
+	fb      *fallbackState
+
+	stats PoolStats
+}
+
+type domainState struct {
+	lock  *sim.Spinlock // protects the next-unused metadata index
+	metas [][]*Meta     // [class] append-only metadata arrays
+}
+
+type fallbackState struct {
+	lock  *sim.Spinlock
+	table map[iommu.IOVA]*Meta
+	alloc *iova.MagazineAllocator
+}
+
+// lockCosts builds the pool's spinlocks from the cost model.
+func lockCosts(c *cycles.Costs) sim.LockCosts {
+	return sim.LockCosts{
+		Uncontended:      c.LockUncontended,
+		HandoffBase:      c.LockHandoffBase,
+		HandoffPerWaiter: c.LockHandoffPerWaiter,
+	}
+}
+
+// NewPool creates the shadow buffer pool for one device.
+func NewPool(eng *sim.Engine, m *mem.Memory, u *iommu.IOMMU, costs *cycles.Costs, dev iommu.DeviceID, cfg Config) (*Pool, error) {
+	enc, err := newEncoding(cfg.SizeClasses)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(cfg.SizeClasses); i++ {
+		if cfg.SizeClasses[i] <= cfg.SizeClasses[i-1] {
+			return nil, fmt.Errorf("shadow: size classes must ascend")
+		}
+	}
+	if cfg.Cores < 1 || cfg.Cores > 1<<coreBits {
+		return nil, fmt.Errorf("shadow: %d cores outside [1,%d]", cfg.Cores, 1<<coreBits)
+	}
+	if cfg.MaxPerClass == 0 {
+		cfg.MaxPerClass = 16384
+	}
+	if cfg.DomainOfCore == nil {
+		cfg.DomainOfCore = func(int) int { return 0 }
+	}
+	if cfg.Domains < 1 {
+		cfg.Domains = 1
+	}
+	p := &Pool{
+		eng: eng, mem: m, u: u, costs: costs, dev: dev,
+		cfg: cfg, enc: enc,
+	}
+	p.stats.BytesByClass = make([]uint64, len(cfg.SizeClasses))
+	p.lists = make([][][3]*freeList, cfg.Cores)
+	p.cache = make([][][3][]*Meta, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		p.lists[c] = make([][3]*freeList, len(cfg.SizeClasses))
+		p.cache[c] = make([][3][]*Meta, len(cfg.SizeClasses))
+		for cl := range cfg.SizeClasses {
+			for r := 0; r < 3; r++ {
+				p.lists[c][cl][r] = &freeList{
+					tailLock: sim.NewSpinlock(
+						fmt.Sprintf("shpool-c%d-s%d-r%d", c, cl, r),
+						cycles.TagSpinlock, lockCosts(costs)),
+				}
+			}
+		}
+	}
+	p.domains = make([]*domainState, cfg.Domains)
+	for d := range p.domains {
+		p.domains[d] = &domainState{
+			lock:  sim.NewSpinlock(fmt.Sprintf("shmeta-d%d", d), cycles.TagSpinlock, lockCosts(costs)),
+			metas: make([][]*Meta, len(cfg.SizeClasses)),
+		}
+	}
+	// Fallback IOVAs come from the MSB-clear half of the space, via an
+	// external scalable allocator [42].
+	p.fb = &fallbackState{
+		lock:  sim.NewSpinlock("shfb", cycles.TagSpinlock, lockCosts(costs)),
+		table: make(map[iommu.IOVA]*Meta),
+		alloc: iova.NewMagazine(cfg.Cores, 1, 1<<(shadowFlagShift-mem.PageShift), 64),
+	}
+	return p, nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// MaxClass returns the largest shadow buffer size the pool serves; larger
+// DMA buffers must use the huge-buffer hybrid (§5.5).
+func (p *Pool) MaxClass() int { return p.cfg.SizeClasses[len(p.cfg.SizeClasses)-1] }
+
+// ErrTooBig is returned when the requested size exceeds the largest class.
+var ErrTooBig = fmt.Errorf("shadow: buffer exceeds largest size class")
+
+// classFor returns the smallest class index fitting size.
+func (p *Pool) classFor(size int) (int, error) {
+	for i, c := range p.cfg.SizeClasses {
+		if size <= c {
+			return i, nil
+		}
+	}
+	return 0, ErrTooBig
+}
+
+// Acquire takes a shadow buffer of at least size bytes with the given
+// device rights from the calling core's pool, associating it with osBuf.
+// It returns the buffer's metadata; the IOVA to hand to the device is
+// meta.IOVA(). (Table 2: acquire_shadow.)
+func (p *Pool) Acquire(proc *sim.Proc, osBuf mem.Buf, size int, rights iommu.Perm) (*Meta, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shadow: acquire of %d bytes", size)
+	}
+	class, err := p.classFor(size)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := rightsIndex(rights)
+	if err != nil {
+		return nil, err
+	}
+	core := proc.Core()
+	if core < 0 || core >= p.cfg.Cores {
+		return nil, fmt.Errorf("shadow: core %d out of range", core)
+	}
+	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowAcquire)
+	p.stats.Acquires++
+
+	// 1) Private cache (chunk remainders) — no synchronization at all.
+	if stack := p.cache[core][class][ri]; len(stack) > 0 {
+		m := stack[len(stack)-1]
+		p.cache[core][class][ri] = stack[:len(stack)-1]
+		p.stats.CacheHits++
+		return p.take(m, osBuf), nil
+	}
+	// 2) Owner free list head — lockless.
+	if m := p.lists[core][class][ri].pop(); m != nil {
+		p.stats.ListHits++
+		return p.take(m, osBuf), nil
+	}
+	// 3) Grow: allocate, map and encode fresh shadow buffers.
+	m, err := p.grow(proc, core, class, ri)
+	if err != nil {
+		return nil, err
+	}
+	return p.take(m, osBuf), nil
+}
+
+func (p *Pool) take(m *Meta, osBuf mem.Buf) *Meta {
+	m.acquired = true
+	m.osBuf = osBuf
+	return m
+}
+
+// grow allocates one page-quantity of shadow buffers on the core's NUMA
+// domain, maps them permanently in the IOMMU, and returns one (caching the
+// remaining chunks privately). Paper §5.3, "Shadow buffer allocation".
+func (p *Pool) grow(proc *sim.Proc, core, class, ri int) (*Meta, error) {
+	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowGrow)
+	p.stats.Grows++
+	domain := p.cfg.DomainOfCore(core)
+	classSize := p.cfg.SizeClasses[class]
+
+	bytes := classSize
+	if bytes < mem.PageSize {
+		bytes = mem.PageSize
+	}
+	pages := bytes / mem.PageSize
+	phys, err := p.mem.AllocPages(domain, pages)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.BytesByClass[class] += uint64(bytes)
+
+	chunks := bytes / classSize // >1 only for sub-page classes
+	ds := p.domains[domain]
+
+	// Reserve metadata indices (lock-protected next-unused index; grows
+	// are infrequent so this lock is uncontended — paper footnote 5).
+	ds.lock.Lock(proc)
+	base := uint64(len(ds.metas[class]))
+	useFallback := base+uint64(chunks) > p.cfg.MaxPerClass ||
+		base+uint64(chunks) > p.enc.maxIndex(class)
+	if !useFallback {
+		for i := 0; i < chunks; i++ {
+			ds.metas[class] = append(ds.metas[class], nil) // reserved below
+		}
+	}
+	ds.lock.Unlock(proc)
+
+	var metas []*Meta
+	if useFallback {
+		metas, err = p.growFallback(proc, core, class, ri, phys, chunks)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		metas = make([]*Meta, chunks)
+		for i := 0; i < chunks; i++ {
+			idx := base + uint64(i)
+			m := &Meta{
+				core: core, rights: ri, class: class, index: idx,
+				iova:   p.enc.encode(core, ri, class, idx),
+				shadow: mem.Buf{Addr: phys + mem.Phys(i*classSize), Size: classSize},
+			}
+			ds.metas[class][idx] = m
+			metas[i] = m
+		}
+		// Map the new buffers permanently. Chunked sub-page buffers of
+		// one physical page occupy consecutive indices, so their IOVAs
+		// tile whole IOVA pages that map to the same physical page —
+		// and every IOVA page holds only same-rights shadow buffers
+		// (the byte-granularity guarantee).
+		first := metas[0].iova
+		span := chunks * classSize
+		if err := p.u.Map(p.dev, first, phys, span, rightsOf[ri]); err != nil {
+			return nil, err
+		}
+	}
+
+	// One buffer is returned; the rest go to the private cache.
+	p.cache[core][class][ri] = append(p.cache[core][class][ri], metas[1:]...)
+	return metas[0], nil
+}
+
+// growFallback services a grow when the metadata array is exhausted: IOVAs
+// come from the external allocator and metadata goes to the hash table
+// (paper §5.3, fallback half of the IOVA space).
+func (p *Pool) growFallback(proc *sim.Proc, core, class, ri int, phys mem.Phys, chunks int) ([]*Meta, error) {
+	classSize := p.cfg.SizeClasses[class]
+	span := chunks * classSize
+	pages := (span + mem.PageSize - 1) / mem.PageSize
+	proc.Charge(cycles.TagCopyMgmt, p.costs.MagazineAlloc)
+	base, err := p.fb.alloc.Alloc(core, pages)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.u.Map(p.dev, base, phys, span, rightsOf[ri]); err != nil {
+		return nil, err
+	}
+	metas := make([]*Meta, chunks)
+	p.fb.lock.Lock(proc)
+	for i := 0; i < chunks; i++ {
+		m := &Meta{
+			core: core, rights: ri, class: class, isFB: true,
+			iova:   base + iommu.IOVA(i*classSize),
+			shadow: mem.Buf{Addr: phys + mem.Phys(i*classSize), Size: classSize},
+		}
+		p.fb.table[m.iova] = m
+		metas[i] = m
+	}
+	p.fb.lock.Unlock(proc)
+	p.stats.FallbackBuffers += uint64(chunks)
+	return metas, nil
+}
+
+// Find locates the metadata of the shadow buffer whose base IOVA is addr,
+// in O(1) via the IOVA encoding (Table 2: find_shadow).
+func (p *Pool) Find(proc *sim.Proc, addr iommu.IOVA) (*Meta, error) {
+	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowFind)
+	p.stats.Finds++
+	if !IsShadow(addr) {
+		// Fallback half: external hash table.
+		p.fb.lock.Lock(proc)
+		m := p.fb.table[addr]
+		p.fb.lock.Unlock(proc)
+		if m == nil {
+			return nil, fmt.Errorf("shadow: no fallback buffer at %#x", uint64(addr))
+		}
+		return m, nil
+	}
+	d, err := p.enc.decode(addr)
+	if err != nil {
+		return nil, err
+	}
+	if d.core >= p.cfg.Cores {
+		return nil, fmt.Errorf("shadow: IOVA %#x encodes core %d out of range", uint64(addr), d.core)
+	}
+	ds := p.domains[p.cfg.DomainOfCore(d.core)]
+	if d.class >= len(ds.metas) || d.index >= uint64(len(ds.metas[d.class])) {
+		return nil, fmt.Errorf("shadow: IOVA %#x has no metadata", uint64(addr))
+	}
+	m := ds.metas[d.class][d.index]
+	if m == nil {
+		return nil, fmt.Errorf("shadow: IOVA %#x metadata reserved but unset", uint64(addr))
+	}
+	return m, nil
+}
+
+// Release returns a shadow buffer to its owner core's free list. Shadow
+// buffers are sticky: wherever they are released, they go home, keeping
+// them NUMA-local and their IOMMU mapping unchanged forever (Table 2:
+// release_shadow).
+func (p *Pool) Release(proc *sim.Proc, m *Meta) {
+	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowRelease)
+	p.stats.Releases++
+	m.acquired = false
+	m.osBuf = mem.Buf{}
+	p.lists[m.core][m.class][m.rights].push(proc, m)
+}
+
+// AcquireShadow is the exact Table 2 API: it returns the IOVA directly.
+func (p *Pool) AcquireShadow(proc *sim.Proc, osBuf mem.Buf, size int, rights iommu.Perm) (iommu.IOVA, error) {
+	m, err := p.Acquire(proc, osBuf, size, rights)
+	if err != nil {
+		return 0, err
+	}
+	return m.iova, nil
+}
+
+// FindShadow is the exact Table 2 API: it returns the OS buffer associated
+// with the shadow buffer at addr.
+func (p *Pool) FindShadow(proc *sim.Proc, addr iommu.IOVA) (mem.Buf, error) {
+	m, err := p.Find(proc, addr)
+	if err != nil {
+		return mem.Buf{}, err
+	}
+	return m.osBuf, nil
+}
+
+// ReleaseShadow is the exact Table 2 API, releasing by IOVA.
+func (p *Pool) ReleaseShadow(proc *sim.Proc, addr iommu.IOVA) error {
+	m, err := p.Find(proc, addr)
+	if err != nil {
+		return err
+	}
+	p.Release(proc, m)
+	return nil
+}
+
+// Trim releases the free shadow buffers of page-or-larger classes on one
+// core back to the system under memory pressure: their mappings are
+// destroyed with a strict IOTLB invalidation (paper §5.3, "Memory
+// consumption"). Sub-page chunked classes are skipped because sibling
+// chunks may still be live.
+func (p *Pool) Trim(proc *sim.Proc, core int) (freed uint64) {
+	p.stats.Trims++
+	for class, classSize := range p.cfg.SizeClasses {
+		if classSize < mem.PageSize {
+			continue
+		}
+		for ri := 0; ri < 3; ri++ {
+			for _, m := range p.lists[core][class][ri].drain(proc) {
+				pages := classSize / mem.PageSize
+				if err := p.u.Unmap(p.dev, m.iova, classSize); err != nil {
+					continue
+				}
+				q := p.u.Queue
+				q.Lock.Lock(proc)
+				done := q.SubmitPages(proc, p.dev, m.iova.Page(), uint64(pages))
+				q.WaitFor(proc, done)
+				q.Lock.Unlock(proc)
+				if err := p.mem.FreePages(m.shadow.Addr, pages); err == nil {
+					freed += uint64(classSize)
+					p.stats.BytesByClass[class] -= uint64(classSize)
+				}
+				if m.isFB {
+					p.fb.lock.Lock(proc)
+					delete(p.fb.table, m.iova)
+					p.fb.lock.Unlock(proc)
+					_ = p.fb.alloc.Free(core, m.iova, pages)
+				} else {
+					ds := p.domains[p.cfg.DomainOfCore(m.core)]
+					ds.metas[m.class][m.index] = nil
+				}
+			}
+		}
+	}
+	return freed
+}

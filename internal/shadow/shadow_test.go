@@ -1,0 +1,480 @@
+package shadow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestEncodingRoundTripProperty(t *testing.T) {
+	enc, err := newEncoding([]int{4096, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(core uint8, rights uint8, class uint8, index uint32) bool {
+		c := int(core) % 128
+		r := int(rights) % 3
+		cl := int(class) % 2
+		ix := uint64(index) % enc.maxIndex(cl)
+		v := enc.encode(c, r, cl, ix)
+		if !IsShadow(v) {
+			return false
+		}
+		d, err := enc.decode(v)
+		if err != nil {
+			return false
+		}
+		return d.core == c && d.rights == r && d.class == cl && d.index == ix && d.offset == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodingOffsetWithinBuffer(t *testing.T) {
+	enc, _ := newEncoding([]int{4096, 65536})
+	base := enc.encode(3, 1, 1, 7) // 64 KiB class
+	d, err := enc.decode(base + 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.index != 7 || d.offset != 40000 {
+		t.Errorf("decoded index=%d offset=%d", d.index, d.offset)
+	}
+}
+
+func TestEncodingMatchesPaperLayout(t *testing.T) {
+	// Paper Fig 2: 7 bits core @40, 2 bits rights @38, 1 bit size class
+	// @37, 37 bits metadata index (low log2C bits are the offset).
+	enc, _ := newEncoding([]int{4096, 65536})
+	v := uint64(enc.encode(5, 2, 1, 9))
+	if v>>47&1 != 1 {
+		t.Error("MSB must be set")
+	}
+	if v>>40&0x7f != 5 {
+		t.Error("core field wrong")
+	}
+	if v>>38&0x3 != 2 {
+		t.Error("rights field wrong")
+	}
+	if v>>37&0x1 != 1 {
+		t.Error("class field wrong")
+	}
+	if v&(1<<37-1) != 9<<16 {
+		t.Error("index field wrong")
+	}
+	// Max index for 64 KiB class is 2^(37-16) = 2^21.
+	if enc.maxIndex(1) != 1<<21 {
+		t.Errorf("maxIndex = %d", enc.maxIndex(1))
+	}
+}
+
+func TestEncodingRejectsBadClasses(t *testing.T) {
+	if _, err := newEncoding(nil); err == nil {
+		t.Error("empty classes should fail")
+	}
+	if _, err := newEncoding([]int{1000}); err == nil {
+		t.Error("non-power-of-two class should fail")
+	}
+	enc, _ := newEncoding([]int{4096})
+	if _, err := enc.decode(iommu.IOVA(0x1234)); err == nil {
+		t.Error("decoding non-shadow IOVA should fail")
+	}
+}
+
+// ---- pool tests ----
+
+type poolRig struct {
+	eng  *sim.Engine
+	mem  *mem.Memory
+	u    *iommu.IOMMU
+	pool *Pool
+}
+
+func newRig(t *testing.T, cfg Config) *poolRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := mem.New(cfg.Domains)
+	u := iommu.New(eng, m, cycles.Default())
+	pool, err := NewPool(eng, m, u, cycles.Default(), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &poolRig{eng: eng, mem: m, u: u, pool: pool}
+}
+
+func defaultCfg(cores int) Config {
+	return Config{
+		SizeClasses:  []int{4096, 65536},
+		MaxPerClass:  16384,
+		Cores:        cores,
+		Domains:      1,
+		DomainOfCore: func(int) int { return 0 },
+	}
+}
+
+func (r *poolRig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.runOn(t, 0, fn)
+	r.eng.Run(1 << 40)
+	r.eng.Stop()
+}
+
+func (r *poolRig) runOn(t *testing.T, core int, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.eng.Spawn("t", core, 0, fn)
+}
+
+func TestPoolAcquireFindRelease(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	osBuf := mem.Buf{Addr: 0x1234, Size: 1500}
+	r.run(t, func(p *sim.Proc) {
+		m, err := r.pool.Acquire(p, osBuf, 1500, iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Shadow().Size != 4096 {
+			t.Errorf("1500 B request should use the 4 KiB class, got %d", m.Shadow().Size)
+		}
+		// The shadow buffer is mapped for the device with exactly the
+		// requested rights.
+		if _, _, f := r.u.Translate(1, m.IOVA(), iommu.PermWrite); f != nil {
+			t.Errorf("shadow buffer not device-writable: %v", f)
+		}
+		if _, _, f := r.u.Translate(1, m.IOVA(), iommu.PermRead); f == nil {
+			t.Error("write-only shadow buffer must not be device-readable")
+		}
+		// O(1) find by IOVA returns the same metadata + OS buffer.
+		got, err := r.pool.Find(p, m.IOVA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m || got.OSBuf() != osBuf {
+			t.Error("find returned wrong metadata")
+		}
+		r.pool.Release(p, m)
+		if got.OSBuf() != (mem.Buf{}) {
+			t.Error("release must disassociate the OS buffer")
+		}
+	})
+}
+
+func TestPoolReuseAndMappingNeverChanges(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	r.run(t, func(p *sim.Proc) {
+		m1, _ := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 100}, 2048, iommu.PermWrite)
+		iova1, shadow1 := m1.IOVA(), m1.Shadow().Addr
+		r.pool.Release(p, m1)
+		m2, _ := r.pool.Acquire(p, mem.Buf{Addr: 2, Size: 100}, 2048, iommu.PermWrite)
+		if m2 != m1 || m2.IOVA() != iova1 || m2.Shadow().Addr != shadow1 {
+			t.Error("released buffer should be reused with identical IOVA and mapping")
+		}
+		base := r.u.Queue.Submitted
+		for i := 0; i < 50; i++ {
+			m, _ := r.pool.Acquire(p, mem.Buf{Addr: 3, Size: 100}, 2048, iommu.PermWrite)
+			r.pool.Release(p, m)
+		}
+		if r.u.Queue.Submitted != base {
+			t.Error("pool reuse must never invalidate the IOTLB")
+		}
+	})
+}
+
+func TestPoolSegregatesRights(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	r.run(t, func(p *sim.Proc) {
+		mr, _ := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 10}, 1000, iommu.PermRead)
+		mw, _ := r.pool.Acquire(p, mem.Buf{Addr: 2, Size: 10}, 1000, iommu.PermWrite)
+		mrw, _ := r.pool.Acquire(p, mem.Buf{Addr: 3, Size: 10}, 1000, iommu.PermRW)
+		if mr.Rights() != iommu.PermRead || mw.Rights() != iommu.PermWrite || mrw.Rights() != iommu.PermRW {
+			t.Error("rights classes wrong")
+		}
+		// Released buffers return to their own rights list.
+		r.pool.Release(p, mr)
+		again, _ := r.pool.Acquire(p, mem.Buf{Addr: 4, Size: 10}, 1000, iommu.PermWrite)
+		if again == mr {
+			t.Error("write acquire must not return a read-rights buffer")
+		}
+	})
+}
+
+func TestPoolSameRightsPerPageGuarantee(t *testing.T) {
+	// With sub-page classes, chunks sharing a physical page must all have
+	// the same rights (the pool's byte-granularity guarantee, Table 2).
+	cfg := defaultCfg(1)
+	cfg.SizeClasses = []int{256, 4096, 65536}
+	r := newRig(t, cfg)
+	r.run(t, func(p *sim.Proc) {
+		byPage := map[uint64]iommu.Perm{}
+		for i := 0; i < 64; i++ {
+			rights := []iommu.Perm{iommu.PermRead, iommu.PermWrite, iommu.PermRW}[i%3]
+			m, err := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 1}, 200, rights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pfn := m.Shadow().Addr.PFN()
+			if prev, ok := byPage[pfn]; ok && prev != m.Rights() {
+				t.Fatalf("page %#x holds both %v and %v shadow buffers", pfn, prev, m.Rights())
+			}
+			byPage[pfn] = m.Rights()
+		}
+	})
+}
+
+func TestPoolChunkingSharesPhysicalPage(t *testing.T) {
+	cfg := defaultCfg(1)
+	cfg.SizeClasses = []int{512, 4096}
+	r := newRig(t, cfg)
+	r.run(t, func(p *sim.Proc) {
+		m1, _ := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 1}, 512, iommu.PermWrite)
+		m2, _ := r.pool.Acquire(p, mem.Buf{Addr: 2, Size: 1}, 512, iommu.PermWrite)
+		if m1.Shadow().Addr.PFN() != m2.Shadow().Addr.PFN() {
+			t.Error("sub-page chunks should share a physical page")
+		}
+		if m1.IOVA() == m2.IOVA() {
+			t.Error("chunks must have distinct IOVAs")
+		}
+		// Each chunk's IOVA translates to its own chunk.
+		ph1, _, f1 := r.u.Translate(1, m1.IOVA(), iommu.PermWrite)
+		ph2, _, f2 := r.u.Translate(1, m2.IOVA(), iommu.PermWrite)
+		if f1 != nil || f2 != nil {
+			t.Fatalf("chunk translation faulted: %v %v", f1, f2)
+		}
+		if ph1 != m1.Shadow().Addr || ph2 != m2.Shadow().Addr {
+			t.Error("chunk IOVAs translate to wrong physical addresses")
+		}
+		st := r.pool.Stats()
+		if st.CacheHits != 1 {
+			t.Errorf("second chunk should come from the private cache, hits=%d", st.CacheHits)
+		}
+		if st.Grows != 1 {
+			t.Errorf("grows = %d, want 1", st.Grows)
+		}
+	})
+}
+
+func TestPoolStickyCrossCoreRelease(t *testing.T) {
+	r := newRig(t, defaultCfg(2))
+	var m0 *Meta
+	done := make(chan struct{}, 1)
+	r.runOn(t, 0, func(p *sim.Proc) {
+		m0, _ = r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 10}, 4096, iommu.PermWrite)
+		done <- struct{}{}
+	})
+	r.eng.Run(1 << 30)
+	// Core 1 releases core 0's buffer; it must go back to core 0's list.
+	r.runOn(t, 1, func(p *sim.Proc) {
+		r.pool.Release(p, m0)
+		m1, _ := r.pool.Acquire(p, mem.Buf{Addr: 2, Size: 10}, 4096, iommu.PermWrite)
+		if m1 == m0 {
+			t.Error("core 1 must not acquire core 0's sticky buffer")
+		}
+	})
+	r.eng.Run(1 << 31)
+	r.runOn(t, 0, func(p *sim.Proc) {
+		m2, _ := r.pool.Acquire(p, mem.Buf{Addr: 3, Size: 10}, 4096, iommu.PermWrite)
+		if m2 != m0 {
+			t.Error("core 0 should get its sticky buffer back")
+		}
+	})
+	r.eng.Run(1 << 32)
+	r.eng.Stop()
+	<-done
+}
+
+func TestPoolFallbackPath(t *testing.T) {
+	cfg := defaultCfg(1)
+	cfg.MaxPerClass = 2 // force fallback quickly
+	r := newRig(t, cfg)
+	r.run(t, func(p *sim.Proc) {
+		var metas []*Meta
+		for i := 0; i < 5; i++ {
+			m, err := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 10}, 4096, iommu.PermWrite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			metas = append(metas, m)
+		}
+		fb := 0
+		for _, m := range metas {
+			if m.Fallback() {
+				fb++
+				if IsShadow(m.IOVA()) {
+					t.Error("fallback IOVA must have MSB clear")
+				}
+			}
+			// Find must work for both paths.
+			got, err := r.pool.Find(p, m.IOVA())
+			if err != nil || got != m {
+				t.Errorf("find failed for %#x: %v", uint64(m.IOVA()), err)
+			}
+			// And the buffer must be device-accessible either way.
+			if _, _, f := r.u.Translate(1, m.IOVA(), iommu.PermWrite); f != nil {
+				t.Errorf("fallback buffer not mapped: %v", f)
+			}
+		}
+		if fb != 3 {
+			t.Errorf("fallback buffers = %d, want 3", fb)
+		}
+		if r.pool.Stats().FallbackBuffers != 3 {
+			t.Errorf("stats fallback = %d", r.pool.Stats().FallbackBuffers)
+		}
+	})
+}
+
+func TestPoolTable2API(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	osBuf := mem.Buf{Addr: 0x42000, Size: 900}
+	r.run(t, func(p *sim.Proc) {
+		iovaAddr, err := r.pool.AcquireShadow(p, osBuf, 900, iommu.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.pool.FindShadow(p, iovaAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != osBuf {
+			t.Errorf("FindShadow = %+v, want %+v", got, osBuf)
+		}
+		if err := r.pool.ReleaseShadow(p, iovaAddr); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPoolErrors(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.pool.Acquire(p, mem.Buf{}, 0, iommu.PermRead); err == nil {
+			t.Error("zero-size acquire should fail")
+		}
+		if _, err := r.pool.Acquire(p, mem.Buf{}, 1<<20, iommu.PermRead); err != ErrTooBig {
+			t.Errorf("oversize acquire should return ErrTooBig, got %v", err)
+		}
+		if _, err := r.pool.Acquire(p, mem.Buf{}, 100, iommu.Perm(0)); err == nil {
+			t.Error("invalid rights should fail")
+		}
+		if _, err := r.pool.Find(p, iommu.IOVA(1<<47|1<<40)); err == nil {
+			t.Error("find of never-allocated shadow IOVA should fail")
+		}
+		if _, err := r.pool.Find(p, iommu.IOVA(0x5000)); err == nil {
+			t.Error("find of unknown fallback IOVA should fail")
+		}
+	})
+}
+
+func TestPoolMemoryAccountingAndTrim(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	r.run(t, func(p *sim.Proc) {
+		var metas []*Meta
+		for i := 0; i < 8; i++ {
+			m, _ := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 10}, 65536, iommu.PermWrite)
+			metas = append(metas, m)
+		}
+		st := r.pool.Stats()
+		if st.BytesByClass[1] != 8*65536 {
+			t.Errorf("64K class bytes = %d", st.BytesByClass[1])
+		}
+		if st.TotalBytes() != 8*65536 {
+			t.Errorf("total = %d", st.TotalBytes())
+		}
+		for _, m := range metas {
+			r.pool.Release(p, m)
+		}
+		freed := r.pool.Trim(p, 0)
+		if freed != 8*65536 {
+			t.Errorf("trim freed %d", freed)
+		}
+		if r.pool.Stats().TotalBytes() != 0 {
+			t.Errorf("footprint after trim = %d", r.pool.Stats().TotalBytes())
+		}
+		// Trimmed buffers' IOVAs must no longer translate.
+		for _, m := range metas {
+			if _, _, f := r.u.Translate(1, m.IOVA(), iommu.PermWrite); f == nil {
+				t.Error("trimmed buffer still mapped")
+			}
+		}
+		// And the pool still works afterwards.
+		if _, err := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 10}, 65536, iommu.PermWrite); err != nil {
+			t.Errorf("acquire after trim failed: %v", err)
+		}
+	})
+}
+
+func TestPoolManyCoresConcurrent(t *testing.T) {
+	const cores = 8
+	r := newRig(t, defaultCfg(cores))
+	for c := 0; c < cores; c++ {
+		r.runOn(t, c, func(p *sim.Proc) {
+			var live []*Meta
+			for i := 0; i < 200; i++ {
+				m, err := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: 10}, 1500, iommu.PermWrite)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if m.core != p.Core() {
+					t.Error("acquired buffer from another core's list")
+					return
+				}
+				live = append(live, m)
+				p.Work("w", 50)
+				if len(live) > 16 {
+					r.pool.Release(p, live[0])
+					live = live[1:]
+				}
+			}
+		})
+	}
+	r.eng.Run(1 << 40)
+	r.eng.Stop()
+	st := r.pool.Stats()
+	if st.Acquires != cores*200 {
+		t.Errorf("acquires = %d", st.Acquires)
+	}
+}
+
+func TestPoolConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.New(1)
+	u := iommu.New(eng, m, cycles.Default())
+	bad := []Config{
+		{SizeClasses: []int{}, Cores: 1, Domains: 1},
+		{SizeClasses: []int{4096, 4096}, Cores: 1, Domains: 1},
+		{SizeClasses: []int{4096}, Cores: 0, Domains: 1},
+		{SizeClasses: []int{4096}, Cores: 500, Domains: 1},
+		{SizeClasses: []int{3000}, Cores: 1, Domains: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPool(eng, m, u, cycles.Default(), 1, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+// FuzzIOVADecode ensures decoding arbitrary IOVAs never panics and that
+// every accepted decode re-encodes to the same base IOVA.
+func FuzzIOVADecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1) << 47)
+	f.Add(^uint64(0))
+	f.Add(uint64(0x804000001000))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		enc, _ := newEncoding([]int{4096, 65536})
+		v := iommu.IOVA(raw & (1<<48 - 1))
+		d, err := enc.decode(v)
+		if err != nil {
+			return
+		}
+		back := enc.encode(d.core, d.rights, d.class, d.index)
+		if uint64(back)+uint64(d.offset) != uint64(v) {
+			t.Fatalf("decode(%#x) -> %+v does not re-encode (got %#x + %d)",
+				raw, d, uint64(back), d.offset)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Package sim implements a conservative discrete-event simulator with
+// coroutine-style simulated cores (Procs), virtual cycle clocks, contended
+// spinlock modeling and condition variables.
+//
+// Exactly one Proc (or engine callback) executes at a time; the engine
+// always dispatches the pending item with the smallest virtual timestamp, so
+// cross-core interactions (lock handoffs, ring notifications, hardware
+// completions) are globally ordered and deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is the simulation scheduler. Create one with NewEngine, add Procs
+// with Spawn and hardware callbacks with Schedule, then call Run.
+type Engine struct {
+	now      uint64
+	seq      uint64
+	pq       wakeHeap
+	parked   chan struct{}
+	procs    []*Proc
+	stopping bool
+	running  bool
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the engine's current virtual time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Procs returns all spawned procs (for stats collection).
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+type wakeItem struct {
+	at  uint64
+	seq uint64
+	p   *Proc            // either p
+	fn  func(now uint64) // or fn is set
+}
+
+type wakeHeap []wakeItem
+
+func (h wakeHeap) Len() int { return len(h) }
+func (h wakeHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeItem)) }
+func (h *wakeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func (e *Engine) push(it wakeItem) {
+	it.seq = e.seq
+	e.seq++
+	heap.Push(&e.pq, it)
+}
+
+// Schedule registers a callback to run at virtual time at. Callbacks run in
+// engine context: they may signal conditions, schedule further callbacks and
+// wake procs, but must not block.
+func (e *Engine) Schedule(at uint64, fn func(now uint64)) {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.push(wakeItem{at: at, fn: fn})
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	cancelled bool
+	fired     bool
+}
+
+// Cancelled reports whether Cancel was called before the timer fired.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// Fired reports whether the callback ran.
+func (t *Timer) Fired() bool { return t.fired }
+
+// Cancel prevents the callback from running if it has not fired yet.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// ScheduleTimer is Schedule with cancellation support.
+func (e *Engine) ScheduleTimer(at uint64, fn func(now uint64)) *Timer {
+	t := &Timer{}
+	e.Schedule(at, func(now uint64) {
+		if t.cancelled {
+			return
+		}
+		t.fired = true
+		fn(now)
+	})
+	return t
+}
+
+// Spawn creates a simulated core thread. fn runs in its own goroutine but
+// under strict engine scheduling: it must interact with virtual time only
+// through the Proc's methods. The proc starts at virtual time start.
+func (e *Engine) Spawn(name string, core int, start uint64, fn func(p *Proc)) *Proc {
+	if start < e.now {
+		start = e.now
+	}
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		core:   core,
+		clock:  start,
+		resume: make(chan struct{}),
+		tagged: make(map[string]uint64),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil && r != errStopped {
+				// Real bug in simulated code: hand it to the Run
+				// caller's goroutine so tests can catch it.
+				p.panicVal = r
+			}
+			p.done = true
+			e.parked <- struct{}{}
+		}()
+		if !e.stopping {
+			fn(p)
+		}
+	}()
+	e.push(wakeItem{at: start, p: p})
+	return p
+}
+
+// Run executes the simulation until virtual time `until` or until there is
+// no pending work. It returns the final virtual time.
+func (e *Engine) Run(until uint64) uint64 {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.pq.Len() > 0 {
+		it := heap.Pop(&e.pq).(wakeItem)
+		if it.at > until {
+			heap.Push(&e.pq, it)
+			e.now = until
+			return e.now
+		}
+		if it.at > e.now {
+			e.now = it.at
+		}
+		if it.fn != nil {
+			it.fn(e.now)
+			continue
+		}
+		p := it.p
+		if p.done {
+			continue
+		}
+		p.wakeAt = it.at
+		p.resume <- struct{}{}
+		<-e.parked
+		if p.panicVal != nil {
+			panic(p.panicVal)
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// Stop terminates all live procs. After Stop the engine must not be reused.
+func (e *Engine) Stop() {
+	e.stopping = true
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-e.parked
+	}
+}
+
+var errStopped = fmt.Errorf("sim: engine stopped")

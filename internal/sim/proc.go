@@ -1,0 +1,129 @@
+package sim
+
+// Proc is a simulated core thread. All methods must be called from within
+// the proc's own goroutine (i.e. from the fn passed to Spawn), except the
+// read-only stats accessors, which are safe once the engine is idle.
+type Proc struct {
+	eng  *Engine
+	name string
+	core int
+
+	clock uint64 // local virtual time
+	busy  uint64 // cycles spent doing work (incl. spinning)
+
+	tagged map[string]uint64 // busy cycles per component tag
+
+	resume   chan struct{}
+	done     bool
+	panicVal interface{}
+
+	wakeAt     uint64 // set by the engine before resuming
+	wakeBusy   bool   // whether the jump to wakeAt counts as busy
+	wakeTag    string
+	blockStart uint64
+}
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Core returns the simulated core index this proc runs on.
+func (p *Proc) Core() int { return p.core }
+
+// Now returns the proc's local virtual time.
+func (p *Proc) Now() uint64 { return p.clock }
+
+// Busy returns the total busy cycles accumulated so far.
+func (p *Proc) Busy() uint64 { return p.busy }
+
+// Tagged returns the per-component busy-cycle accounting. The returned map
+// is live; callers must not mutate it.
+func (p *Proc) Tagged() map[string]uint64 { return p.tagged }
+
+// TaggedCycles returns busy cycles attributed to one component tag.
+func (p *Proc) TaggedCycles(tag string) uint64 { return p.tagged[tag] }
+
+// park hands control back to the engine and blocks until resumed. On resume
+// the proc's clock jumps to the wake time; the jump is counted busy (with
+// wakeTag) if wakeBusy is set (spinlock handoffs), idle otherwise.
+func (p *Proc) park() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	if p.eng.stopping {
+		panic(errStopped)
+	}
+	if p.wakeAt > p.clock {
+		delta := p.wakeAt - p.clock
+		if p.wakeBusy {
+			p.busy += delta
+			p.tagged[p.wakeTag] += delta
+		}
+		p.clock = p.wakeAt
+	}
+	p.wakeBusy = false
+	p.wakeTag = ""
+}
+
+// fence re-synchronizes the proc with global virtual time: it parks and is
+// re-dispatched once every other pending item at an earlier timestamp has
+// run. Shared-resource operations (locks, conditions) fence first so that
+// locally accumulated Charge costs cannot reorder cross-core interactions.
+func (p *Proc) fence() {
+	p.eng.push(wakeItem{at: p.clock, p: p})
+	p.park()
+}
+
+// block parks without a scheduled wake; some other party must Wake the proc.
+func (p *Proc) block() {
+	p.blockStart = p.clock
+	p.park()
+}
+
+// wake schedules a blocked proc to resume at time at. If busy is true the
+// waiting interval counts as busy time under tag (spin-waiting).
+func (p *Proc) wake(at uint64, busy bool, tag string) {
+	if at < p.clock {
+		at = p.clock
+	}
+	p.wakeBusy = busy
+	p.wakeTag = tag
+	p.eng.push(wakeItem{at: at, p: p})
+}
+
+// Charge accounts c busy cycles under tag and advances the local clock
+// WITHOUT yielding to the engine. Use for sequences of purely core-local
+// work; any shared-resource operation re-synchronizes via fence.
+func (p *Proc) Charge(tag string, c uint64) {
+	p.busy += c
+	p.tagged[tag] += c
+	p.clock += c
+}
+
+// Work is Charge followed by a yield, making the elapsed work visible to
+// the rest of the simulation.
+func (p *Proc) Work(tag string, c uint64) {
+	p.Charge(tag, c)
+	p.fence()
+}
+
+// Sleep advances the local clock by c cycles of idle (non-busy) time.
+func (p *Proc) Sleep(c uint64) {
+	p.eng.push(wakeItem{at: p.clock + c, p: p})
+	p.park()
+}
+
+// SpinUntil busy-waits until absolute virtual time t, accounting the wait
+// under tag. If t is in the past it is a no-op.
+func (p *Proc) SpinUntil(tag string, t uint64) {
+	if t <= p.clock {
+		return
+	}
+	delta := t - p.clock
+	p.busy += delta
+	p.tagged[tag] += delta
+	p.clock = t
+	p.fence()
+}
+
+// Yield gives other procs at the same or earlier virtual time a chance to
+// run without advancing the clock.
+func (p *Proc) Yield() { p.fence() }

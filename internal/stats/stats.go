@@ -1,0 +1,79 @@
+// Package stats provides small statistics helpers (percentiles, mean) for
+// benchmark results — latency distributions in particular, where the mean
+// alone hides tail behaviour.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample distribution.
+type Summary struct {
+	Count         int
+	Mean          float64
+	Min, Max      float64
+	P50, P90, P99 float64
+	StdDev        float64
+}
+
+// Summarize computes a Summary of the samples (which it does not modify).
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(s),
+		Mean:   mean,
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P50:    Percentile(s, 50),
+		P90:    Percentile(s, 90),
+		P99:    Percentile(s, 99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// Percentile returns the p-th percentile (0-100) of sorted samples using
+// linear interpolation between closest ranks.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// SummarizeUint64 converts cycle samples with a scale divisor (e.g. cycles
+// per microsecond) and summarizes them.
+func SummarizeUint64(samples []uint64, scale float64) Summary {
+	fs := make([]float64, len(samples))
+	for i, v := range samples {
+		fs[i] = float64(v) / scale
+	}
+	return Summarize(fs)
+}

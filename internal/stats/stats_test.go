@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if (Summary{}) != Summarize(nil) {
+		t.Error("empty input should give zero summary")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{5, 1, 3}
+	Summarize(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {150, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileMonotonicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = r.Float64() * 1000
+		}
+		sort.Float64s(s)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(s, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeUint64Scale(t *testing.T) {
+	s := SummarizeUint64([]uint64{2400, 4800}, 2400)
+	if s.Mean != 1.5 || s.Min != 1 || s.Max != 2 {
+		t.Errorf("scaled: %+v", s)
+	}
+}
