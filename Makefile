@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build vet test race smoke baseline ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fast end-to-end check: regenerate the full evaluation at a 1 ms window,
+# write the machine-readable artifact, and gate it against the committed
+# baseline. Per-point simulations are deterministic, so identical code
+# must diff clean (exit 0); a regression or who-wins flip fails the make.
+smoke:
+	$(GO) run ./cmd/reproduce -window 1 -skip-sensitivity -json /tmp/BENCH_smoke.json > /dev/null
+	$(GO) run ./cmd/benchdiff ci/baseline.json /tmp/BENCH_smoke.json
+
+# Regenerate the committed baseline (run after an intentional change to
+# the cost model or experiments; review the diff before committing).
+baseline:
+	$(GO) run ./cmd/reproduce -window 1 -skip-sensitivity -json ci/baseline.json > /dev/null
+
+ci: vet test race smoke

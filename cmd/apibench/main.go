@@ -16,6 +16,7 @@ import (
 func main() {
 	extended := flag.Bool("extended", false, "include swiotlb and selfinval")
 	format := flag.String("format", "text", "output format: text|csv|json")
+	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
 	flag.Parse()
 
 	opt := bench.Options{}
@@ -33,4 +34,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
+	if *jsonOut != "" {
+		if err := bench.WriteArtifact(*jsonOut, "apibench", 0, nil, t); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

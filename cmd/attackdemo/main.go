@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/bench"
@@ -20,6 +21,7 @@ func main() {
 	sweep := flag.Bool("window-sweep", false, "sweep post-unmap replay delays")
 	window := flag.Float64("window", 10, "simulated ms per perf measurement")
 	showTrace := flag.Bool("trace", false, "dump the IOMMU event trace of one attack run")
+	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
 	flag.Parse()
 
 	if *showTrace {
@@ -43,11 +45,19 @@ func main() {
 	}
 	fmt.Println()
 
-	_, table, err := attack.Table1(*window)
+	rows, table, err := attack.Table1(*window)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(table)
+	if *jsonOut != "" {
+		a := bench.Artifact("attackdemo", *window, nil, []*bench.Table{table})
+		a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		a.Attacks = attack.Verdicts(rows)
+		if err := a.WriteFile(*jsonOut); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *sweep {
 		delays := []float64{1, 10, 100, 1000, 5000, 9000, 11000, 20000}

@@ -1,0 +1,92 @@
+// Command benchdiff compares two benchmark artifacts (written by
+// cmd/reproduce -json or any cmd/* tool) and fails when the candidate
+// regresses beyond tolerance or flips a who-wins claim.
+//
+//	benchdiff baseline.json candidate.json
+//
+// Exit status: 0 = pass, 1 = regression or claim flip, 2 = usage/load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+)
+
+type metricTolFlag map[string]float64
+
+func (m metricTolFlag) String() string {
+	var parts []string
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m metricTolFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want metric=tol, got %q", s)
+	}
+	t, err := strconv.ParseFloat(v, 64)
+	if err != nil || t < 0 {
+		return fmt.Errorf("bad tolerance in %q", s)
+	}
+	m[k] = t
+	return nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "default relative tolerance per metric")
+	tie := flag.Float64("tie", 0.02, "suppress winner flips when contenders are within this relative margin")
+	absFloor := flag.Float64("abs-floor", 0, "ignore changes smaller than this absolute magnitude")
+	allowMissing := flag.Bool("allow-missing", false, "missing experiments/series/metrics are notes, not failures")
+	quiet := flag.Bool("q", false, "print only the verdict line")
+	metricTol := metricTolFlag{}
+	flag.Var(metricTol, "metric-tol", "per-metric tolerance override, metric=tol (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] baseline.json candidate.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	a, err := report.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	b, err := report.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: candidate: %v\n", err)
+		os.Exit(2)
+	}
+	r, err := report.Diff(a, b, report.DiffOptions{
+		Tol:           *tol,
+		MetricTol:     metricTol,
+		TieMargin:     *tie,
+		AbsFloor:      *absFloor,
+		IgnoreMissing: *allowMissing,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	out := r.String()
+	if *quiet {
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		out = lines[len(lines)-1] + "\n"
+	}
+	fmt.Print(out)
+	if !r.OK() {
+		os.Exit(1)
+	}
+}

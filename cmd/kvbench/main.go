@@ -14,22 +14,43 @@ import (
 func main() {
 	window := flag.Float64("window", 20, "simulated milliseconds")
 	cores := flag.Int("cores", 16, "memcached instances (one per core)")
+	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
 	flag.Parse()
 
+	var t *bench.Table
 	if *cores == 16 {
-		t, err := bench.Fig11(bench.Options{WindowMs: *window})
+		var err error
+		t, err = bench.Fig11(bench.Options{WindowMs: *window})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(t)
-		return
+	} else {
+		t = &bench.Table{
+			Name:    "kvbench",
+			Title:   fmt.Sprintf("memcached aggregated throughput (%d instances)", *cores),
+			Columns: []string{"system", "Mtx/s", "cpu%", "errors"},
+		}
+		t.SetWinner("mtx_per_sec", false)
+		label := fmt.Sprintf("%d cores", *cores)
+		for _, sys := range bench.FigureSystems {
+			r, err := bench.RunMemcached(sys, *cores, *window)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %6.2f Mtx/s  cpu %5.1f%%  errors %d\n",
+				sys, r.TransactionsPS/1e6, r.CPUPct, r.Errors)
+			t.AddRow(sys, fmt.Sprintf("%.2f", r.TransactionsPS/1e6),
+				fmt.Sprintf("%.1f", r.CPUPct), fmt.Sprintf("%d", r.Errors))
+			t.Point(sys, label, map[string]float64{
+				"mtx_per_sec": r.TransactionsPS / 1e6,
+				"cpu_pct":     r.CPUPct,
+			})
+		}
 	}
-	for _, sys := range bench.FigureSystems {
-		r, err := bench.RunMemcached(sys, *cores, *window)
-		if err != nil {
+	if *jsonOut != "" {
+		if err := bench.WriteArtifact(*jsonOut, "kvbench", *window, nil, t); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-10s %6.2f Mtx/s  cpu %5.1f%%  errors %d\n",
-			sys, r.TransactionsPS/1e6, r.CPUPct, r.Errors)
 	}
 }

@@ -14,6 +14,7 @@ import (
 func main() {
 	window := flag.Float64("window", 20, "simulated milliseconds per data point")
 	breakdown := flag.Bool("breakdown", false, "also print the Figure 10 CPU breakdown")
+	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
 	flag.Parse()
 
 	opt := bench.Options{WindowMs: *window}
@@ -22,11 +23,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(t)
+	tables := []*bench.Table{t}
 	if *breakdown {
 		t10, err := bench.Fig10(opt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(t10)
+		tables = append(tables, t10)
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteArtifact(*jsonOut, "latbench", *window, nil, tables...); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 func main() {
 	window := flag.Float64("window", 20, "simulated milliseconds")
+	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
 	flag.Parse()
 
 	t, err := bench.MemoryConsumption(bench.Options{WindowMs: *window})
@@ -51,9 +52,17 @@ func main() {
 	ps := sm.Pool().Stats()
 	mach.Eng.Stop()
 
+	detail := &bench.Table{
+		Name:    "memdetail",
+		Title:   "shadow pool composition (16-core RX)",
+		Columns: []string{"class", "MB"},
+	}
 	fmt.Println("shadow pool composition (16-core RX):")
 	for i, b := range ps.BytesByClass {
 		fmt.Printf("  class %d: %8.2f MB\n", i, float64(b)/(1<<20))
+		detail.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%.2f", float64(b)/(1<<20)))
+		detail.Point(bench.SysCopy, fmt.Sprintf("class %d", i),
+			map[string]float64{"mb": float64(b) / (1 << 20)})
 	}
 	fmt.Printf("  acquires %d  releases %d  grows %d  fallback buffers %d\n",
 		ps.Acquires, ps.Releases, ps.Grows, ps.FallbackBuffers)
@@ -63,4 +72,15 @@ func main() {
 	fmt.Printf("IOTLB: %.1f%% hit rate (%d hits / %d misses / %d evictions) — permanent\n"+
 		"mappings keep locality; no invalidations were ever submitted (%d)\n",
 		100*tlb.HitRate(), tlb.Hits, tlb.Misses, tlb.Evictions, mach.IOMMU.Queue.Submitted)
+	detail.Point(bench.SysCopy, "total", map[string]float64{
+		"mb":               float64(ps.TotalBytes()) / (1 << 20),
+		"grows":            float64(ps.Grows),
+		"fallback_buffers": float64(ps.FallbackBuffers),
+		"iotlb_hit_rate":   tlb.HitRate(),
+	})
+	if *jsonOut != "" {
+		if err := bench.WriteArtifact(*jsonOut, "memreport", *window, nil, t, detail); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

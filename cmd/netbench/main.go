@@ -26,6 +26,7 @@ func main() {
 	sizes := flag.String("sizes", "", "comma-separated message sizes (default: the paper's 64B..64KB sweep)")
 	format := flag.String("format", "text", "output format: text|csv|json")
 	costsFile := flag.String("costs", "", "JSON cost-model override file (see internal/cycles)")
+	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
 	flag.Parse()
 
 	opt := bench.Options{WindowMs: *window}
@@ -51,64 +52,80 @@ func main() {
 		}
 	}
 
-	type experimentFn func(bench.Options) (*bench.Table, error)
+	one := func(fn func(bench.Options) (*bench.Table, error)) func(bench.Options) ([]*bench.Table, error) {
+		return func(o bench.Options) ([]*bench.Table, error) {
+			t, err := fn(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*bench.Table{t}, nil
+		}
+	}
 	experiments := []struct {
 		name string
-		run  experimentFn
+		run  func(bench.Options) ([]*bench.Table, error)
 	}{
-		{"fig1", bench.Fig1},
-		{"fig3", bench.Fig3},
-		{"fig4", bench.Fig4},
-		{"fig5", func(o bench.Options) (*bench.Table, error) {
+		{"fig1", one(bench.Fig1)},
+		{"fig3", one(bench.Fig3)},
+		{"fig4", one(bench.Fig4)},
+		{"fig5", func(o bench.Options) ([]*bench.Table, error) {
 			return breakdownBoth(o, 1)
 		}},
-		{"fig6", bench.Fig6},
-		{"fig7", bench.Fig7},
-		{"fig8", func(o bench.Options) (*bench.Table, error) {
+		{"fig6", one(bench.Fig6)},
+		{"fig7", one(bench.Fig7)},
+		{"fig8", func(o bench.Options) ([]*bench.Table, error) {
 			return breakdownBoth(o, 16)
 		}},
-		{"sensitivity", func(o bench.Options) (*bench.Table, error) {
+		{"sensitivity", one(func(o bench.Options) (*bench.Table, error) {
 			t, violations, err := bench.Sensitivity(o)
 			if err != nil {
 				return nil, err
 			}
 			t.Note = fmt.Sprintf("claim flips under perturbation: %d", violations)
 			return t, nil
-		}},
+		})},
 	}
 	ran := false
+	var tables []*bench.Table
 	for _, e := range experiments {
 		if *experiment != "all" && *experiment != e.name {
 			continue
 		}
 		ran = true
-		t, err := e.run(opt)
+		ts, err := e.run(opt)
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
-		out, err := t.Render(*format)
-		if err != nil {
-			log.Fatal(err)
+		for _, t := range ts {
+			out, err := t.Render(*format)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+			tables = append(tables, t)
 		}
-		fmt.Println(out)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		if err := bench.WriteArtifact(*jsonOut, "netbench", *window, opt.Costs, tables...); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
-// breakdownBoth prints the RX and TX panels of a breakdown figure.
-func breakdownBoth(opt bench.Options, cores int) (*bench.Table, error) {
+// breakdownBoth runs the RX and TX panels of a breakdown figure.
+func breakdownBoth(opt bench.Options, cores int) ([]*bench.Table, error) {
 	rx, _, err := bench.Breakdown(bench.RX, cores, opt)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Println(rx)
 	tx, _, err := bench.Breakdown(bench.TX, cores, opt)
 	if err != nil {
 		return nil, err
 	}
-	return tx, nil
+	return []*bench.Table{rx, tx}, nil
 }

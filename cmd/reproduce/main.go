@@ -1,10 +1,15 @@
 // Command reproduce regenerates the paper's ENTIRE evaluation — every
 // table and figure, the attack matrix, the memory measurement — plus this
-// reproduction's extension studies, as one self-contained report. With no
-// flags it takes a few minutes of wall clock (the simulation itself covers
-// a fraction of a second of virtual time per data point).
+// reproduction's extension studies, as one self-contained report. The
+// figure families are independent simulations, so they run concurrently
+// (bounded by -parallel); the printed report order is unchanged.
 //
 //	go run ./cmd/reproduce > report.txt
+//	go run ./cmd/reproduce -window 1 -json BENCH_smoke.json
+//
+// With -json the same results are also written as a machine-readable
+// artifact (internal/report schema) for the cmd/benchdiff regression gate.
+// "-json auto" derives the filename as BENCH_<YYYY-MM-DD>.json.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 func main() {
 	window := flag.Float64("window", 10, "simulated milliseconds per data point")
 	skipSensitivity := flag.Bool("skip-sensitivity", false, "skip the (slow) sensitivity analysis")
+	jsonOut := flag.String("json", "", "also write a machine-readable artifact to this path (\"auto\" = BENCH_<date>.json)")
+	parallel := flag.Int("parallel", 0, "max concurrent sections (<=0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opt := bench.Options{WindowMs: *window}
@@ -27,61 +34,46 @@ func main() {
 	fmt.Println("Reproduction report: True IOMMU Protection from DMA Attacks (ASPLOS'16)")
 	fmt.Printf("window: %.0f simulated ms per data point\n\n", *window)
 
-	section := func(name string, fn func() (*bench.Table, error)) {
-		t, err := fn()
-		if err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
-		fmt.Println(t)
+	// Table 1 (attacks + its own benchmarks) runs concurrently with the
+	// figure sections; security still leads the printed report.
+	type table1Out struct {
+		rows []attack.Table1Row
+		tbl  *bench.Table
+		err  error
 	}
+	t1ch := make(chan table1Out, 1)
+	go func() {
+		rows, tbl, err := attack.Table1(*window)
+		t1ch <- table1Out{rows, tbl, err}
+	}()
 
-	// Security first: Table 1, decided by real attacks.
-	_, t1, err := attack.Table1(*window)
+	sections := bench.Suite(!*skipSensitivity)
+	tables, err := bench.RunSuite(sections, opt, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(t1)
+	t1 := <-t1ch
+	if t1.err != nil {
+		log.Fatal(t1.err)
+	}
 
-	section("fig1", func() (*bench.Table, error) { return bench.Fig1(opt) })
-	section("fig3", func() (*bench.Table, error) { return bench.Fig3(opt) })
-	section("fig4", func() (*bench.Table, error) { return bench.Fig4(opt) })
-	section("fig5a", func() (*bench.Table, error) {
-		t, _, err := bench.Breakdown(bench.RX, 1, opt)
-		return t, err
-	})
-	section("fig5b", func() (*bench.Table, error) {
-		t, _, err := bench.Breakdown(bench.TX, 1, opt)
-		return t, err
-	})
-	section("fig6", func() (*bench.Table, error) { return bench.Fig6(opt) })
-	section("fig7", func() (*bench.Table, error) { return bench.Fig7(opt) })
-	section("fig8a", func() (*bench.Table, error) {
-		t, _, err := bench.Breakdown(bench.RX, 16, opt)
-		return t, err
-	})
-	section("fig9", func() (*bench.Table, error) {
-		t, _, err := bench.Fig9(opt)
-		return t, err
-	})
-	section("fig10", func() (*bench.Table, error) { return bench.Fig10(opt) })
-	section("fig11", func() (*bench.Table, error) { return bench.Fig11(opt) })
-	section("memory", func() (*bench.Table, error) { return bench.MemoryConsumption(opt) })
-
-	// Extension studies.
-	section("api-micro", func() (*bench.Table, error) {
-		return bench.APIMicro(bench.Options{Systems: bench.ExtendedSystems})
-	})
-	section("storage", func() (*bench.Table, error) { return bench.StorageStudy(opt) })
-	section("mixed-io", func() (*bench.Table, error) { return bench.MixedStudy(opt) })
-	if !*skipSensitivity {
-		section("sensitivity", func() (*bench.Table, error) {
-			t, violations, err := bench.Sensitivity(bench.Options{WindowMs: *window / 2})
-			if err != nil {
-				return nil, err
-			}
-			t.Note = fmt.Sprintf("claim flips: %d", violations)
-			return t, nil
-		})
+	fmt.Println(t1.tbl)
+	for _, t := range tables {
+		fmt.Println(t)
 	}
 	fmt.Printf("report complete in %s (wall clock)\n", time.Since(start).Round(time.Second))
+
+	if *jsonOut != "" {
+		path := *jsonOut
+		if path == "auto" {
+			path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+		}
+		a := bench.Artifact("reproduce", *window, nil, append([]*bench.Table{t1.tbl}, tables...))
+		a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		a.Attacks = attack.Verdicts(t1.rows)
+		if err := a.WriteFile(path); err != nil {
+			log.Fatalf("writing artifact: %v", err)
+		}
+		fmt.Printf("artifact written to %s\n", path)
+	}
 }

@@ -17,6 +17,7 @@ import (
 func main() {
 	window := flag.Float64("window", 20, "simulated milliseconds per data point")
 	mixed := flag.Bool("mixed", false, "also run the NIC+SSD shared-IOMMU interference study")
+	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
 	flag.Parse()
 
 	t, err := bench.StorageStudy(bench.Options{WindowMs: *window})
@@ -24,6 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(t)
+	tables := []*bench.Table{t}
 
 	if *mixed {
 		mt, err := bench.MixedStudy(bench.Options{WindowMs: *window})
@@ -31,5 +33,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(mt)
+		tables = append(tables, mt)
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteArtifact(*jsonOut, "storagebench", *window, nil, tables...); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"repro/internal/bench"
+	"repro/internal/report"
 )
 
 // Table1Row is one line of the paper's Table 1: the security properties
@@ -78,6 +79,7 @@ func mark(ok bool) string {
 
 func renderTable1(rows []Table1Row) *bench.Table {
 	t := &bench.Table{
+		Name:  "table1",
 		Title: "Table 1: protection model comparison (security from attacks, perf from RX benchmarks)",
 		Columns: []string{"model", "sub-page protect", "no vulnerability window",
 			"single-core perf", "multi-core perf"},
@@ -85,6 +87,27 @@ func renderTable1(rows []Table1Row) *bench.Table {
 	for _, r := range rows {
 		t.AddRow(r.System, mark(r.SubPageProtect), mark(r.NoVulnWindow),
 			mark(r.SingleCorePerf), mark(r.MultiCorePerf))
+		t.Point(r.System, "vs no-iommu", map[string]float64{
+			"single_core_ratio": r.SingleCoreRatio,
+			"multi_core_ratio":  r.MultiCoreRatio,
+		})
 	}
 	return t
+}
+
+// Verdicts converts Table1 rows into the artifact's attack-matrix form.
+func Verdicts(rows []Table1Row) []report.AttackVerdict {
+	out := make([]report.AttackVerdict, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, report.AttackVerdict{
+			System:          r.System,
+			SubPageProtect:  r.SubPageProtect,
+			NoVulnWindow:    r.NoVulnWindow,
+			SingleCorePerf:  r.SingleCorePerf,
+			MultiCorePerf:   r.MultiCorePerf,
+			SingleCoreRatio: r.SingleCoreRatio,
+			MultiCoreRatio:  r.MultiCoreRatio,
+		})
+	}
+	return out
 }

@@ -100,12 +100,15 @@ func StreamSweep(dir Direction, cores int, opt Options) (map[string]map[int]Resu
 }
 
 // streamTable renders a sweep in the paper's four-panel form (throughput,
-// relative throughput, CPU, relative CPU), one row per message size.
-func streamTable(title string, results map[string]map[int]Result, opt Options) *Table {
+// relative throughput, CPU, relative CPU), one row per message size, and
+// records the structured gbps/rel/cpu_pct series for the artifact.
+func streamTable(name, title string, results map[string]map[int]Result, opt Options) *Table {
 	t := &Table{
+		Name:    name,
 		Title:   title,
 		Columns: []string{"msg"},
 	}
+	t.SetWinner("gbps", false)
 	systems := opt.systems()
 	for _, s := range systems {
 		t.Columns = append(t.Columns, s+" Gb/s")
@@ -133,6 +136,14 @@ func streamTable(title string, results map[string]map[int]Result, opt Options) *
 			row = append(row, f1(results[s][sz].CPUPct))
 		}
 		t.AddRow(row...)
+		for _, s := range systems {
+			r := results[s][sz]
+			m := map[string]float64{"gbps": r.Gbps, "cpu_pct": r.CPUPct}
+			if base.Gbps > 0 {
+				m["rel"] = r.Gbps / base.Gbps
+			}
+			t.Point(s, sizeLabel(sz), m)
+		}
 	}
 	return t
 }
@@ -144,9 +155,11 @@ func Fig1(opt Options) (*Table, error) {
 		opt.Systems = AllSystems
 	}
 	t := &Table{
+		Name:    "fig1",
 		Title:   "Figure 1: IOMMU-based OS protection cost (TCP RX, 1500B packets, Gb/s)",
 		Columns: []string{"system", "1 core", "16 cores"},
 	}
+	t.SetWinner("gbps", false)
 	for _, sys := range opt.systems() {
 		row := []string{sys}
 		for _, cores := range []int{1, 16} {
@@ -157,6 +170,8 @@ func Fig1(opt Options) (*Table, error) {
 				return nil, err
 			}
 			row = append(row, f2(r.Gbps))
+			t.Point(sys, fmt.Sprintf("%d cores", cores),
+				map[string]float64{"gbps": r.Gbps, "cpu_pct": r.CPUPct})
 		}
 		t.AddRow(row...)
 	}
@@ -169,7 +184,7 @@ func Fig3(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return streamTable("Figure 3: single-core TCP receive (RX)", res, opt), nil
+	return streamTable("fig3", "Figure 3: single-core TCP receive (RX)", res, opt), nil
 }
 
 // Fig4 reproduces Figure 4: single-core TCP transmit.
@@ -178,7 +193,7 @@ func Fig4(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return streamTable("Figure 4: single-core TCP transmit (TX)", res, opt), nil
+	return streamTable("fig4", "Figure 4: single-core TCP transmit (TX)", res, opt), nil
 }
 
 // Fig6 reproduces Figure 6: 16-core TCP receive.
@@ -187,7 +202,7 @@ func Fig6(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return streamTable("Figure 6: 16-core TCP receive (RX)", res, opt), nil
+	return streamTable("fig6", "Figure 6: 16-core TCP receive (RX)", res, opt), nil
 }
 
 // Fig7 reproduces Figure 7: 16-core TCP transmit.
@@ -196,7 +211,7 @@ func Fig7(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return streamTable("Figure 7: 16-core TCP transmit (TX)", res, opt), nil
+	return streamTable("fig7", "Figure 7: 16-core TCP transmit (TX)", res, opt), nil
 }
 
 // Breakdown reproduces Figures 5 and 8: the average per-DMA-operation
@@ -207,15 +222,18 @@ func Breakdown(dir Direction, cores int, opt Options) (*Table, map[string]Result
 	if err != nil {
 		return nil, nil, err
 	}
-	fig := "Figure 5"
+	fig, figName := "Figure 5", "fig5"
 	if cores > 1 {
-		fig = "Figure 8"
+		fig, figName = "Figure 8", "fig8"
 	}
+	panel := map[Direction]string{RX: "a", TX: "b"}[dir]
 	t := &Table{
+		Name: figName + panel,
 		Title: fmt.Sprintf("%s%s: per-packet time breakdown, %d-core %s, 64KB messages (us)",
-			fig, map[Direction]string{RX: "a", TX: "b"}[dir], cores, dir),
+			fig, panel, cores, dir),
 		Columns: append([]string{"component"}, opt.systems()...),
 	}
+	t.SetWinner("total_us", true)
 	flat := make(map[string]Result)
 	for _, s := range opt.systems() {
 		flat[s] = res[s][65536]
@@ -236,6 +254,11 @@ func Breakdown(dir Direction, cores int, opt Options) (*Table, map[string]Result
 		}
 		total = append(total, f2(sum))
 		tput = append(tput, f2(flat[s].Gbps))
+		metrics := map[string]float64{"total_us": sum, "gbps": flat[s].Gbps}
+		for _, comp := range cycles.Components {
+			metrics[comp+"_us"] = flat[s].PerOp[comp]
+		}
+		t.Point(s, "64KB", metrics)
 	}
 	t.AddRow(total...)
 	t.AddRow(tput...)
@@ -249,9 +272,11 @@ func Fig9(opt Options) (*Table, map[string]map[int]Result, error) {
 		return nil, nil, err
 	}
 	t := &Table{
+		Name:    "fig9",
 		Title:   "Figure 9: TCP latency (single-core netperf request/response)",
 		Columns: []string{"msg"},
 	}
+	t.SetWinner("lat_us", true)
 	for _, s := range opt.systems() {
 		t.Columns = append(t.Columns, s+" us")
 	}
@@ -273,6 +298,12 @@ func Fig9(opt Options) (*Table, map[string]map[int]Result, error) {
 			row = append(row, f1(res[s][sz].CPUPct))
 		}
 		t.AddRow(row...)
+		for _, s := range opt.systems() {
+			r := res[s][sz]
+			t.Point(s, sizeLabel(sz), map[string]float64{
+				"lat_us": r.LatencyUs, "p99_us": r.LatencyP99Us, "cpu_pct": r.CPUPct,
+			})
+		}
 	}
 	return t, res, nil
 }
@@ -285,16 +316,23 @@ func Fig10(opt Options) (*Table, error) {
 		return nil, err
 	}
 	t := &Table{
+		Name:    "fig10",
 		Title:   "Figure 10: single-core TCP RR CPU utilization breakdown (64KB messages, % of core)",
 		Columns: append([]string{"component"}, opt.systems()...),
 	}
+	t.SetWinner("cpu_pct", true)
 	window := cycles.FromMillis(opt.window())
+	perComp := make(map[string]map[string]float64) // [system][component] pct
+	for _, s := range opt.systems() {
+		perComp[s] = make(map[string]float64)
+	}
 	for _, comp := range cycles.Components {
 		row := []string{comp}
 		for _, s := range opt.systems() {
 			r := res[s][65536]
 			// PerOp is us per transaction; convert to % of the core.
 			pct := r.PerOp[comp] * float64(r.Ops) / cycles.Micros(window) * 100
+			perComp[s][comp] = pct
 			row = append(row, f1(pct))
 		}
 		t.AddRow(row...)
@@ -304,6 +342,14 @@ func Fig10(opt Options) (*Table, error) {
 	for _, s := range opt.systems() {
 		cpu = append(cpu, f1(res[s][65536].CPUPct))
 		lat = append(lat, f1(res[s][65536].LatencyUs))
+		metrics := map[string]float64{
+			"cpu_pct": res[s][65536].CPUPct,
+			"lat_us":  res[s][65536].LatencyUs,
+		}
+		for comp, pct := range perComp[s] {
+			metrics[comp+"_pct"] = pct
+		}
+		t.Point(s, "64KB", metrics)
 	}
 	t.AddRow(cpu...)
 	t.AddRow(lat...)
@@ -314,6 +360,7 @@ func Fig10(opt Options) (*Table, error) {
 // under the 16-core RX and TX workloads, against the worst-case bound.
 func MemoryConsumption(opt Options) (*Table, error) {
 	t := &Table{
+		Name:    "memory",
 		Title:   "Memory consumption (paper §6): shadow DMA buffer footprint",
 		Columns: []string{"workload", "pool bytes", "pool MB", "in-flight buffers"},
 	}
@@ -324,10 +371,16 @@ func MemoryConsumption(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("16-core %s 64KB", dir),
+		label := fmt.Sprintf("16-core %s 64KB", dir)
+		t.AddRow(label,
 			fmt.Sprintf("%d", r.PoolBytes),
 			f2(float64(r.PoolBytes)/(1<<20)),
 			fmt.Sprintf("%d", r.MapperStats.ShadowPoolBuffers))
+		t.Point(SysCopy, label, map[string]float64{
+			"pool_bytes": float64(r.PoolBytes),
+			"pool_mb":    float64(r.PoolBytes) / (1 << 20),
+			"buffers":    float64(r.MapperStats.ShadowPoolBuffers),
+		})
 	}
 	t.Note = "worst case bound (paper): 2 NUMA domains x (16K x 4KB + 16K x 64KB) = 2.1 GB"
 	return t, nil

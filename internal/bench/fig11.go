@@ -81,15 +81,21 @@ func RunMemcached(system string, cores int, windowMs float64) (KVResult, error) 
 // Fig11 reproduces Figure 11 across the four systems.
 func Fig11(opt Options) (*Table, error) {
 	t := &Table{
+		Name:    "fig11",
 		Title:   "Figure 11: memcached aggregated throughput (16 instances, memslap 90/10 GET/SET)",
 		Columns: []string{"system", "Mtx/s", "cpu%"},
 	}
+	t.SetWinner("mtx_per_sec", false)
 	for _, sys := range opt.systems() {
 		r, err := RunMemcached(sys, 16, opt.window())
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(sys, fmt.Sprintf("%.2f", r.TransactionsPS/1e6), f1(r.CPUPct))
+		t.Point(sys, "16 cores", map[string]float64{
+			"mtx_per_sec": r.TransactionsPS / 1e6,
+			"cpu_pct":     r.CPUPct,
+		})
 	}
 	return t, nil
 }

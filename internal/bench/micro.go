@@ -121,9 +121,11 @@ func RunMicro(system string, pat MicroPattern, pairs int) (MicroResult, error) {
 func APIMicro(opt Options) (*Table, error) {
 	systems := opt.systems()
 	t := &Table{
+		Name:    "apimicro",
 		Title:   "DMA API microbenchmark: us per map+unmap pair (no datapath)",
 		Columns: append([]string{"pattern"}, systems...),
 	}
+	t.SetWinner("pair_us", true)
 	for _, pat := range MicroPatterns {
 		row := []string{pat.Name}
 		for _, sys := range systems {
@@ -132,6 +134,7 @@ func APIMicro(opt Options) (*Table, error) {
 				return nil, fmt.Errorf("%s/%s: %w", sys, pat.Name, err)
 			}
 			row = append(row, fmt.Sprintf("%.3f", r.PerPairUs))
+			t.Point(sys, pat.Name, map[string]float64{"pair_us": r.PerPairUs})
 		}
 		t.AddRow(row...)
 	}

@@ -129,10 +129,12 @@ func RunMixed(system string, netCores, blkCores int, windowMs float64) (MixedRes
 // busy SSD behind the same IOMMU.
 func MixedStudy(opt Options) (*Table, error) {
 	t := &Table{
+		Name:  "mixed",
 		Title: "Mixed-I/O study (extension): NIC + SSD behind one IOMMU (4+4 cores)",
 		Columns: []string{"system", "net-only Gb/s", "net+ssd Gb/s", "net loss%",
 			"ssd KIOPS", "invq contention"},
 	}
+	t.SetWinner("net_both_gbps", false)
 	for _, sys := range opt.systems() {
 		alone, err := RunMixed(sys, 4, 0, opt.window())
 		if err != nil {
@@ -148,6 +150,13 @@ func MixedStudy(opt Options) (*Table, error) {
 		}
 		t.AddRow(sys, f2(alone.NetGbps), f2(both.NetGbps), f1(loss),
 			f1(both.BlkIOPS/1e3), fmt.Sprintf("%d", both.InvWaits))
+		t.Point(sys, "4+4 cores", map[string]float64{
+			"net_alone_gbps": alone.NetGbps,
+			"net_both_gbps":  both.NetGbps,
+			"loss_pct":       loss,
+			"blk_kiops":      both.BlkIOPS / 1e3,
+			"invq_contended": float64(both.InvWaits),
+		})
 	}
 	return t, nil
 }

@@ -115,6 +115,7 @@ func runClaimSet(costs *cycles.Costs, windowMs float64) (single, multi map[strin
 // returning the robustness matrix and the number of claim violations.
 func Sensitivity(opt Options) (*Table, int, error) {
 	t := &Table{
+		Name:    "sensitivity",
 		Title:   "Sensitivity analysis: paper claims under +/-25% cost-model perturbation",
 		Columns: []string{"perturbation", "scale"},
 	}
@@ -128,13 +129,20 @@ func Sensitivity(opt Options) (*Table, int, error) {
 			return err
 		}
 		row := []string{name, fmt.Sprintf("%.2f", scale)}
+		series := fmt.Sprintf("%s x%.2f", name, scale)
 		for _, c := range PaperClaims {
-			if c.Holds(single, multi) {
+			holds := c.Holds(single, multi)
+			if holds {
 				row = append(row, "holds")
 			} else {
 				row = append(row, "FLIPS")
 				violations++
 			}
+			v := 0.0
+			if holds {
+				v = 1.0
+			}
+			t.Point(series, c.Name, map[string]float64{"holds": v})
 		}
 		t.AddRow(row...)
 		return nil

@@ -87,9 +87,11 @@ func RunStorage(system string, cores, ioSize, readPct int, windowMs float64) (St
 // 4 queues).
 func StorageStudy(opt Options) (*Table, error) {
 	t := &Table{
+		Name:    "storage",
 		Title:   "Storage study (extension, paper §5.5): NVMe-class SSD, 70/30 R/W, 4 queues",
 		Columns: []string{"io size", "system", "KIOPS", "GB/s", "cpu%", "hybrid maps"},
 	}
+	t.SetWinner("kiops", false)
 	sizes := []int{4096, 65536, 262144}
 	systems := opt.systems()
 	for _, sz := range sizes {
@@ -100,6 +102,12 @@ func StorageStudy(opt Options) (*Table, error) {
 			}
 			t.AddRow(sizeLabel(sz), sys, f1(r.IOPS/1e3), f2(r.GBps), f1(r.CPUPct),
 				fmt.Sprintf("%d", r.HybridMaps))
+			t.Point(sys, sizeLabel(sz), map[string]float64{
+				"kiops":       r.IOPS / 1e3,
+				"gb_per_sec":  r.GBps,
+				"cpu_pct":     r.CPUPct,
+				"hybrid_maps": float64(r.HybridMaps),
+			})
 		}
 	}
 	return t, nil

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/report"
+)
+
+// Section is one independently-runnable family of the evaluation (one
+// figure, table or extension study).
+type Section struct {
+	Name string
+	Run  func(Options) (*Table, error)
+}
+
+// Suite returns the full evaluation in report order — every figure of the
+// paper plus this reproduction's extension studies. Sections are
+// independent simulations, so RunSuite executes them concurrently.
+func Suite(includeSensitivity bool) []Section {
+	s := []Section{
+		{"fig1", Fig1},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5a", func(o Options) (*Table, error) { t, _, err := Breakdown(RX, 1, o); return t, err }},
+		{"fig5b", func(o Options) (*Table, error) { t, _, err := Breakdown(TX, 1, o); return t, err }},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig8a", func(o Options) (*Table, error) { t, _, err := Breakdown(RX, 16, o); return t, err }},
+		{"fig9", func(o Options) (*Table, error) { t, _, err := Fig9(o); return t, err }},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"memory", MemoryConsumption},
+		{"apimicro", func(o Options) (*Table, error) {
+			// The microbenchmark covers the related-work systems too and
+			// is window-independent (fixed pair count).
+			return APIMicro(Options{Systems: ExtendedSystems, Costs: o.Costs})
+		}},
+		{"storage", StorageStudy},
+		{"mixed", MixedStudy},
+	}
+	if includeSensitivity {
+		s = append(s, Section{"sensitivity", func(o Options) (*Table, error) {
+			// Half the window: 11 cost models x 8 machines is the slow part.
+			t, violations, err := Sensitivity(Options{WindowMs: o.window() / 2, Costs: o.Costs})
+			if err != nil {
+				return nil, err
+			}
+			t.Note = fmt.Sprintf("claim flips: %d", violations)
+			return t, nil
+		}})
+	}
+	return s
+}
+
+// RunSuite executes sections concurrently (bounded by parallelism;
+// <=0 means GOMAXPROCS) and returns their tables in section order. The
+// figure families are independent simulations — only StreamSweep's
+// intra-sweep parallelism existed before, leaving the serial sections
+// (Fig1, Fig11, storage, mixed) to dominate wall clock.
+func RunSuite(sections []Section, opt Options, parallelism int) ([]*Table, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	tables := make([]*Table, len(sections))
+	errs := make([]error, len(sections))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, sec := range sections {
+		i, sec := i, sec
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			t, err := sec.Run(opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", sec.Name, err)
+				return
+			}
+			if t.Name == "" {
+				t.Name = sec.Name
+			}
+			tables[i] = t
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tables, nil
+}
+
+// Artifact bundles tables into a machine-readable artifact (see
+// internal/report). A nil costs means the default calibration.
+func Artifact(tool string, windowMs float64, costs *cycles.Costs, tables []*Table) *report.Artifact {
+	a := report.New(tool, windowMs, costs)
+	for _, t := range tables {
+		if t != nil {
+			a.Add(t.Experiment())
+		}
+	}
+	return a
+}
+
+// WriteArtifact stamps and writes tables as an artifact file — the shared
+// tail of every cmd/* tool's -json flag.
+func WriteArtifact(path, tool string, windowMs float64, costs *cycles.Costs, tables ...*Table) error {
+	a := Artifact(tool, windowMs, costs, tables)
+	a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	return a.WriteFile(path)
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestTablePointAndExperiment(t *testing.T) {
+	tbl := &Table{Name: "x", Title: "X"}
+	tbl.SetWinner("gbps", false)
+	tbl.Point("copy", "1KB", map[string]float64{"gbps": 1, "bad": nan()})
+	tbl.Point("copy", "64KB", map[string]float64{"gbps": 2})
+	tbl.Point("strict", "1KB", map[string]float64{"gbps": 0.5})
+	e := tbl.Experiment()
+	if e.Name != "x" || e.Winner == nil || e.Winner.Metric != "gbps" {
+		t.Fatalf("experiment conversion lost fields: %+v", e)
+	}
+	if len(e.Series) != 2 || len(e.Series[0].Points) != 2 {
+		t.Fatalf("series shape wrong: %+v", e.Series)
+	}
+	if _, ok := e.Series[0].Points[0].Metrics["bad"]; ok {
+		t.Error("non-finite metric must be dropped")
+	}
+	a := report.New("test", 1, nil)
+	a.Add(e)
+	if err := a.Validate(); err != nil {
+		t.Errorf("artifact from table must validate: %v", err)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestRunSuiteParallel drives real (tiny) sections through the bounded
+// worker pool; `go test -race` makes this a data-race check on the
+// concurrent section execution.
+func TestRunSuiteParallel(t *testing.T) {
+	opt := Options{WindowMs: 0.25, Sizes: []int{1024}, Systems: []string{SysNoIOMMU, SysCopy}}
+	sections := []Section{
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig9", func(o Options) (*Table, error) { tb, _, err := Fig9(o); return tb, err }},
+	}
+	tables, err := RunSuite(sections, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for i, tb := range tables {
+		if tb == nil {
+			t.Fatalf("table %d is nil", i)
+		}
+		if tb.Name != sections[i].Name {
+			t.Errorf("table %d out of order: %q", i, tb.Name)
+		}
+		if len(tb.Series) == 0 {
+			t.Errorf("table %q has no structured series", tb.Name)
+		}
+	}
+	a := Artifact("test", opt.WindowMs, nil, tables)
+	if err := a.Validate(); err != nil {
+		t.Errorf("suite artifact must validate: %v", err)
+	}
+}
+
+func TestRunSuitePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	sections := []Section{
+		{"ok", func(o Options) (*Table, error) { return &Table{Title: "t"}, nil }},
+		{"bad", func(o Options) (*Table, error) { return nil, boom }},
+	}
+	_, err := RunSuite(sections, Options{WindowMs: 0.1}, 2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestSuiteCoversAllSections(t *testing.T) {
+	with := Suite(true)
+	without := Suite(false)
+	if len(with) != len(without)+1 {
+		t.Errorf("sensitivity toggle broken: %d vs %d", len(with), len(without))
+	}
+	seen := map[string]bool{}
+	for _, s := range with {
+		if seen[s.Name] {
+			t.Errorf("duplicate section %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Run == nil {
+			t.Errorf("section %q has no runner", s.Name)
+		}
+	}
+	for _, want := range []string{"fig1", "fig3", "fig9", "memory", "storage", "sensitivity"} {
+		if !seen[want] {
+			t.Errorf("suite is missing %q", want)
+		}
+	}
+}

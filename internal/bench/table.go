@@ -4,20 +4,72 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
+
+	"repro/internal/report"
 )
 
-// Table is a formatted experiment result, printable as aligned text.
+// Table is a formatted experiment result, printable as aligned text. The
+// string rows are the human rendering; Series carries the same results as
+// structured numeric metrics for machine-readable artifacts and the
+// benchdiff regression gate (see internal/report).
 type Table struct {
+	// Name is the stable machine-readable experiment id ("fig3", ...).
+	Name    string
 	Title   string
 	Note    string
 	Columns []string
 	Rows    [][]string
+	// Winner declares the metric that decides "who wins" per point, so
+	// benchdiff can detect claim flips for this figure.
+	Winner *report.Winner
+	// Series holds per-system numeric results, in insertion order.
+	Series []report.Series
 }
 
 // AddRow appends a row of cells.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// SetWinner declares the experiment's claim-deciding metric.
+func (t *Table) SetWinner(metric string, lowerIsBetter bool) {
+	t.Winner = &report.Winner{Metric: metric, LowerIsBetter: lowerIsBetter}
+}
+
+// Point records one structured data point for a system. Non-finite metric
+// values are dropped (they would poison the JSON artifact).
+func (t *Table) Point(system, label string, metrics map[string]float64) {
+	clean := make(map[string]float64, len(metrics))
+	for k, v := range metrics {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			clean[k] = v
+		}
+	}
+	for i := range t.Series {
+		if t.Series[i].System == system {
+			t.Series[i].Points = append(t.Series[i].Points, report.Point{Label: label, Metrics: clean})
+			return
+		}
+	}
+	t.Series = append(t.Series, report.Series{
+		System: system,
+		Points: []report.Point{{Label: label, Metrics: clean}},
+	})
+}
+
+// Experiment converts the table into its artifact form.
+func (t *Table) Experiment() report.Experiment {
+	return report.Experiment{
+		Name:    t.Name,
+		Title:   t.Title,
+		Note:    t.Note,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Winner:  t.Winner,
+		Series:  t.Series,
+	}
 }
 
 // String renders the table as aligned text.
@@ -71,14 +123,20 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// JSON renders the table as a JSON object with title, columns and rows.
+// JSON renders the table as a JSON object: title, columns and rows as
+// before, plus the artifact-schema fields (name, winner, series) so every
+// cmd/* tool's -format json output speaks the same schema as the
+// BENCH_*.json artifacts.
 func (t *Table) JSON() (string, error) {
 	out, err := json.MarshalIndent(struct {
-		Title   string     `json:"title"`
-		Note    string     `json:"note,omitempty"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
-	}{t.Title, t.Note, t.Columns, t.Rows}, "", "  ")
+		Name    string           `json:"name,omitempty"`
+		Title   string           `json:"title"`
+		Note    string           `json:"note,omitempty"`
+		Columns []string         `json:"columns"`
+		Rows    [][]string       `json:"rows"`
+		Winner  *report.Winner   `json:"winner,omitempty"`
+		Series  []report.Series  `json:"series,omitempty"`
+	}{t.Name, t.Title, t.Note, t.Columns, t.Rows, t.Winner, t.Series}, "", "  ")
 	if err != nil {
 		return "", err
 	}

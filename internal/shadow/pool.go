@@ -84,8 +84,50 @@ type Pool struct {
 }
 
 type domainState struct {
-	lock  *sim.Spinlock // protects the next-unused metadata index
+	lock  *sim.Spinlock // protects the next-unused metadata index and spare
 	metas [][]*Meta     // [class] append-only metadata arrays
+	// spare[class] holds index-span bases reclaimed by Trim or by grow's
+	// failure unwind, available for reuse. Spans per class have a fixed
+	// length (the class's chunks-per-page), so any spare base fits any
+	// later reservation of the same class.
+	spare [][]uint64
+}
+
+// reserve claims a span of `chunks` metadata indices for one class,
+// preferring reclaimed spans. ok is false when the class is exhausted
+// (caller must take the fallback path).
+func (ds *domainState) reserve(proc *sim.Proc, class int, chunks, maxPerClass, maxIndex uint64) (base uint64, ok bool) {
+	ds.lock.Lock(proc)
+	defer ds.lock.Unlock(proc)
+	if n := len(ds.spare[class]); n > 0 {
+		base = ds.spare[class][n-1]
+		ds.spare[class] = ds.spare[class][:n-1]
+		return base, true
+	}
+	base = uint64(len(ds.metas[class]))
+	if base+chunks > maxPerClass || base+chunks > maxIndex {
+		return 0, false
+	}
+	for i := uint64(0); i < chunks; i++ {
+		ds.metas[class] = append(ds.metas[class], nil) // installed by grow
+	}
+	return base, true
+}
+
+// unreserve returns a reserved span, clearing its slots. A span still at
+// the array tail is truncated away; otherwise it is parked on the spare
+// list for the next reservation.
+func (ds *domainState) unreserve(proc *sim.Proc, class int, base, chunks uint64) {
+	ds.lock.Lock(proc)
+	defer ds.lock.Unlock(proc)
+	for i := uint64(0); i < chunks; i++ {
+		ds.metas[class][base+i] = nil
+	}
+	if uint64(len(ds.metas[class])) == base+chunks {
+		ds.metas[class] = ds.metas[class][:base]
+		return
+	}
+	ds.spare[class] = append(ds.spare[class], base)
 }
 
 type fallbackState struct {
@@ -105,14 +147,16 @@ func lockCosts(c *cycles.Costs) sim.LockCosts {
 
 // NewPool creates the shadow buffer pool for one device.
 func NewPool(eng *sim.Engine, m *mem.Memory, u *iommu.IOMMU, costs *cycles.Costs, dev iommu.DeviceID, cfg Config) (*Pool, error) {
-	enc, err := newEncoding(cfg.SizeClasses)
-	if err != nil {
-		return nil, err
-	}
+	// Validate ordering before newEncoding consumes the classes: the
+	// encoding derives per-class bit layouts and must see a sane config.
 	for i := 1; i < len(cfg.SizeClasses); i++ {
 		if cfg.SizeClasses[i] <= cfg.SizeClasses[i-1] {
 			return nil, fmt.Errorf("shadow: size classes must ascend")
 		}
+	}
+	enc, err := newEncoding(cfg.SizeClasses)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Cores < 1 || cfg.Cores > 1<<coreBits {
 		return nil, fmt.Errorf("shadow: %d cores outside [1,%d]", cfg.Cores, 1<<coreBits)
@@ -151,6 +195,7 @@ func NewPool(eng *sim.Engine, m *mem.Memory, u *iommu.IOMMU, costs *cycles.Costs
 		p.domains[d] = &domainState{
 			lock:  sim.NewSpinlock(fmt.Sprintf("shmeta-d%d", d), cycles.TagSpinlock, lockCosts(costs)),
 			metas: make([][]*Meta, len(cfg.SizeClasses)),
+			spare: make([][]uint64, len(cfg.SizeClasses)),
 		}
 	}
 	// Fallback IOVAs come from the MSB-clear half of the space, via an
@@ -250,31 +295,35 @@ func (p *Pool) grow(proc *sim.Proc, core, class, ri int) (*Meta, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.stats.BytesByClass[class] += uint64(bytes)
 
 	chunks := bytes / classSize // >1 only for sub-page classes
 	ds := p.domains[domain]
 
 	// Reserve metadata indices (lock-protected next-unused index; grows
 	// are infrequent so this lock is uncontended — paper footnote 5).
-	ds.lock.Lock(proc)
-	base := uint64(len(ds.metas[class]))
-	useFallback := base+uint64(chunks) > p.cfg.MaxPerClass ||
-		base+uint64(chunks) > p.enc.maxIndex(class)
-	if !useFallback {
-		for i := 0; i < chunks; i++ {
-			ds.metas[class] = append(ds.metas[class], nil) // reserved below
-		}
-	}
-	ds.lock.Unlock(proc)
+	base, reserved := ds.reserve(proc, class, uint64(chunks), p.cfg.MaxPerClass, p.enc.maxIndex(class))
 
 	var metas []*Meta
-	if useFallback {
+	if !reserved {
 		metas, err = p.growFallback(proc, core, class, ri, phys, chunks)
 		if err != nil {
+			_ = p.mem.FreePages(phys, pages)
 			return nil, err
 		}
 	} else {
+		// Map the new buffers permanently, BEFORE installing metadata:
+		// on failure nothing is visible and the reservation unwinds.
+		// Chunked sub-page buffers of one physical page occupy
+		// consecutive indices, so their IOVAs tile whole IOVA pages that
+		// map to the same physical page — and every IOVA page holds only
+		// same-rights shadow buffers (the byte-granularity guarantee).
+		first := p.enc.encode(core, ri, class, base)
+		span := chunks * classSize
+		if err := p.u.Map(p.dev, first, phys, span, rightsOf[ri]); err != nil {
+			ds.unreserve(proc, class, base, uint64(chunks))
+			_ = p.mem.FreePages(phys, pages)
+			return nil, err
+		}
 		metas = make([]*Meta, chunks)
 		for i := 0; i < chunks; i++ {
 			idx := base + uint64(i)
@@ -286,17 +335,8 @@ func (p *Pool) grow(proc *sim.Proc, core, class, ri int) (*Meta, error) {
 			ds.metas[class][idx] = m
 			metas[i] = m
 		}
-		// Map the new buffers permanently. Chunked sub-page buffers of
-		// one physical page occupy consecutive indices, so their IOVAs
-		// tile whole IOVA pages that map to the same physical page —
-		// and every IOVA page holds only same-rights shadow buffers
-		// (the byte-granularity guarantee).
-		first := metas[0].iova
-		span := chunks * classSize
-		if err := p.u.Map(p.dev, first, phys, span, rightsOf[ri]); err != nil {
-			return nil, err
-		}
 	}
+	p.stats.BytesByClass[class] += uint64(bytes)
 
 	// One buffer is returned; the rest go to the private cache.
 	p.cache[core][class][ri] = append(p.cache[core][class][ri], metas[1:]...)
@@ -316,6 +356,8 @@ func (p *Pool) growFallback(proc *sim.Proc, core, class, ri int, phys mem.Phys, 
 		return nil, err
 	}
 	if err := p.u.Map(p.dev, base, phys, span, rightsOf[ri]); err != nil {
+		// Return the IOVA range, or the allocator leaks it forever.
+		_ = p.fb.alloc.Free(core, base, pages)
 		return nil, err
 	}
 	metas := make([]*Meta, chunks)
@@ -423,6 +465,10 @@ func (p *Pool) Trim(proc *sim.Proc, core int) (freed uint64) {
 			for _, m := range p.lists[core][class][ri].drain(proc) {
 				pages := classSize / mem.PageSize
 				if err := p.u.Unmap(p.dev, m.iova, classSize); err != nil {
+					// Still mapped and still usable: push it back on
+					// the free list instead of stranding it forever
+					// unreachable (drained but never re-listed).
+					p.lists[core][class][ri].push(proc, m)
 					continue
 				}
 				q := p.u.Queue
@@ -430,9 +476,12 @@ func (p *Pool) Trim(proc *sim.Proc, core int) (freed uint64) {
 				done := q.SubmitPages(proc, p.dev, m.iova.Page(), uint64(pages))
 				q.WaitFor(proc, done)
 				q.Lock.Unlock(proc)
+				// Once unmapped the buffer has left the pool whatever
+				// FreePages says, so the footprint shrinks either way;
+				// only pages actually returned count as freed.
+				p.stats.BytesByClass[class] -= uint64(classSize)
 				if err := p.mem.FreePages(m.shadow.Addr, pages); err == nil {
 					freed += uint64(classSize)
-					p.stats.BytesByClass[class] -= uint64(classSize)
 				}
 				if m.isFB {
 					p.fb.lock.Lock(proc)
@@ -440,8 +489,11 @@ func (p *Pool) Trim(proc *sim.Proc, core int) (freed uint64) {
 					p.fb.lock.Unlock(proc)
 					_ = p.fb.alloc.Free(core, m.iova, pages)
 				} else {
+					// Recycle the metadata index so a later grow can
+					// reuse it (a nil-and-forget slot is a slow leak of
+					// the bounded per-class index space).
 					ds := p.domains[p.cfg.DomainOfCore(m.core)]
-					ds.metas[m.class][m.index] = nil
+					ds.unreserve(proc, m.class, m.index, 1)
 				}
 			}
 		}

@@ -1,0 +1,248 @@
+package shadow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// The grow/trim error paths are driven by making the simulated IOMMU and
+// memory fail for real: Map fails on an already-mapped page, Unmap on an
+// unmapped one, FreePages on a double free. The tests pre-arrange those
+// conditions externally and assert the pool unwinds without leaking pages,
+// metadata indices, fallback IOVAs or footprint accounting.
+
+func TestNewPoolValidatesClassOrderFirst(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.New(1)
+	u := iommu.New(eng, m, cycles.Default())
+	cfg := defaultCfg(1)
+	cfg.SizeClasses = []int{65536, 4096} // descending
+	_, err := NewPool(eng, m, u, cycles.Default(), 1, cfg)
+	if err == nil {
+		t.Fatal("descending size classes must be rejected")
+	}
+	if !strings.Contains(err.Error(), "ascend") {
+		t.Errorf("want the ordering error, got: %v", err)
+	}
+	eng.Stop()
+}
+
+func TestGrowMapFailureUnwinds(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	r.run(t, func(p *sim.Proc) {
+		ri, err := rightsIndex(iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Occupy the exact IOVA the first grow of the 64 KiB class will
+		// encode, so its Map fails.
+		predicted := r.pool.enc.encode(0, ri, 1, 0)
+		ph, err := r.mem.AllocPages(0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.u.Map(1, predicted, ph, 65536, iommu.PermWrite); err != nil {
+			t.Fatal(err)
+		}
+		before := r.mem.InUseBytes(0)
+
+		if _, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite); err == nil {
+			t.Fatal("acquire must fail while the IOVA is occupied")
+		}
+		if got := r.mem.InUseBytes(0); got != before {
+			t.Errorf("pages leaked on failed grow: in-use %d -> %d", before, got)
+		}
+		if got := r.pool.Stats().BytesByClass[1]; got != 0 {
+			t.Errorf("BytesByClass over-counted on failure: %d", got)
+		}
+		if got := len(r.pool.domains[0].metas[1]); got != 0 {
+			t.Errorf("reservation not unwound: %d metadata slots", got)
+		}
+
+		// Clear the obstruction: the same index must be reusable.
+		if err := r.u.Unmap(1, predicted, 65536); err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatalf("acquire after clearing: %v", err)
+		}
+		if m.index != 0 || m.iova != predicted {
+			t.Errorf("index 0 not reused: index=%d", m.index)
+		}
+		if got := r.pool.Stats().BytesByClass[1]; got != 65536 {
+			t.Errorf("BytesByClass after success = %d", got)
+		}
+	})
+}
+
+func TestGrowFallbackMapFailureUnwinds(t *testing.T) {
+	cfg := defaultCfg(1)
+	cfg.MaxPerClass = 1 // second 64 KiB grow exhausts metadata -> fallback
+	r := newRig(t, cfg)
+	r.run(t, func(p *sim.Proc) {
+		m1, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1.isFB {
+			t.Fatal("first buffer should use the encoded half")
+		}
+		m2, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m2.isFB {
+			t.Fatal("second buffer must take the fallback path")
+		}
+		fbIOVA := m2.iova
+
+		// Trim returns m2's pages and its IOVA to the magazine; the
+		// magazine is LIFO, so the next fallback grow re-allocates
+		// fbIOVA — which we now occupy to make its Map fail.
+		r.pool.Release(p, m2)
+		if freed := r.pool.Trim(p, 0); freed != 65536 {
+			t.Fatalf("trim freed %d", freed)
+		}
+		ph, err := r.mem.AllocPages(0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.u.Map(1, fbIOVA, ph, 65536, iommu.PermWrite); err != nil {
+			t.Fatal(err)
+		}
+		before := r.mem.InUseBytes(0)
+		if _, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite); err == nil {
+			t.Fatal("fallback acquire must fail while the IOVA is occupied")
+		}
+		if got := r.mem.InUseBytes(0); got != before {
+			t.Errorf("pages leaked on failed fallback grow: %d -> %d", before, got)
+		}
+
+		// The failed grow must have returned fbIOVA to the magazine:
+		// after clearing the obstruction, the next grow gets it again.
+		if err := r.u.Unmap(1, fbIOVA, 65536); err != nil {
+			t.Fatal(err)
+		}
+		m3, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatalf("acquire after clearing: %v", err)
+		}
+		if !m3.isFB || m3.iova != fbIOVA {
+			t.Errorf("fallback IOVA leaked: got %#x, want %#x", uint64(m3.iova), uint64(fbIOVA))
+		}
+	})
+}
+
+func TestTrimUnmapFailurePushesBack(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	r.run(t, func(p *sim.Proc) {
+		m1, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.pool.Release(p, m1)
+		// Make Trim's Unmap fail by unmapping externally first.
+		if err := r.u.Unmap(1, m1.iova, 65536); err != nil {
+			t.Fatal(err)
+		}
+		grows := r.pool.Stats().Grows
+		if freed := r.pool.Trim(p, 0); freed != 0 {
+			t.Fatalf("trim freed %d despite unmap failure", freed)
+		}
+		if got := r.pool.Stats().BytesByClass[1]; got != 65536 {
+			t.Errorf("footprint must be unchanged when the buffer survives: %d", got)
+		}
+		// The buffer must still be reachable: the next acquire takes it
+		// off the free list instead of growing.
+		m2, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2 != m1 {
+			t.Error("drained buffer was not pushed back onto the free list")
+		}
+		if r.pool.Stats().Grows != grows {
+			t.Error("acquire grew instead of reusing the surviving buffer")
+		}
+	})
+}
+
+func TestTrimFreePagesFailureAccounting(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	r.run(t, func(p *sim.Proc) {
+		m1, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.pool.Release(p, m1)
+		// Make Trim's FreePages fail (double free) while its Unmap still
+		// succeeds.
+		if err := r.mem.FreePages(m1.shadow.Addr, 16); err != nil {
+			t.Fatal(err)
+		}
+		if freed := r.pool.Trim(p, 0); freed != 0 {
+			t.Fatalf("freed %d despite FreePages failure", freed)
+		}
+		// The buffer left the pool at the successful unmap, so the
+		// footprint must shrink even though the pages weren't returned.
+		if got := r.pool.Stats().BytesByClass[1]; got != 0 {
+			t.Errorf("BytesByClass = %d after the buffer left the pool", got)
+		}
+		if got := len(r.pool.domains[0].metas[1]); got != 0 {
+			t.Errorf("metadata index not recycled: %d slots", got)
+		}
+	})
+}
+
+func TestTrimRecyclesMetadataIndices(t *testing.T) {
+	r := newRig(t, defaultCfg(1))
+	r.run(t, func(p *sim.Proc) {
+		// Tail case: trim the only buffer; the array truncates and the
+		// next grow reuses index 0.
+		m1, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.pool.Release(p, m1)
+		if freed := r.pool.Trim(p, 0); freed != 65536 {
+			t.Fatalf("trim freed %d", freed)
+		}
+		if got := len(r.pool.domains[0].metas[1]); got != 0 {
+			t.Fatalf("tail index not truncated: %d slots", got)
+		}
+
+		// Spare case: with a later index still live, a trimmed inner
+		// index parks on the spare list and is handed out next.
+		a, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite) // index 0
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite) // index 1
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.index != 0 || b.index != 1 {
+			t.Fatalf("unexpected indices %d,%d", a.index, b.index)
+		}
+		r.pool.Release(p, a)
+		if freed := r.pool.Trim(p, 0); freed != 65536 {
+			t.Fatalf("trim freed %d", freed)
+		}
+		c, err := r.pool.Acquire(p, mem.Buf{}, 65536, iommu.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.index != 0 {
+			t.Errorf("spare index not reused: got %d", c.index)
+		}
+		if _, err := r.pool.Find(p, c.iova); err != nil {
+			t.Errorf("recycled buffer not findable: %v", err)
+		}
+	})
+}

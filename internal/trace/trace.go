@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/cycles"
 )
 
 // Standard event categories.
@@ -37,6 +39,7 @@ type Tracer struct {
 	wrapped bool
 	seq     uint64
 	filter  map[string]bool // nil = accept all
+	hz      float64         // 0 = the simulation's cycles.Hz
 
 	// Stats
 	Emitted, Dropped uint64
@@ -100,10 +103,21 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
-// Dump writes the trace as text, one event per line.
+// SetHz overrides the clock frequency used to render timestamps (for
+// traces captured under a non-default cost model). Zero restores the
+// simulation's cycles.Hz.
+func (t *Tracer) SetHz(hz float64) { t.hz = hz }
+
+// Dump writes the trace as text, one event per line. Timestamps are
+// converted with the simulation clock (cycles.Hz), not a hard-coded rate.
 func (t *Tracer) Dump(w io.Writer) {
+	hz := t.hz
+	if hz <= 0 {
+		hz = cycles.Hz
+	}
+	cyclesPerUs := hz / 1e6
 	for _, e := range t.Events() {
-		us := float64(e.At) / 2400.0 // cycles at 2.4 GHz -> us
+		us := float64(e.At) / cyclesPerUs
 		fmt.Fprintf(w, "%12.3fus %-6s %s\n", us, e.Cat, e.Msg)
 	}
 }

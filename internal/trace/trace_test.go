@@ -71,3 +71,28 @@ func TestDumpFormat(t *testing.T) {
 		t.Errorf("dump format: %q", out)
 	}
 }
+
+func TestDumpFrequency(t *testing.T) {
+	tr := New(4)
+	tr.Emit(4800, CatMap, "m")
+	var b strings.Builder
+	tr.Dump(&b)
+	// 4800 cycles at the simulation's 2.4 GHz clock is 2 us.
+	if !strings.Contains(b.String(), "2.000us") {
+		t.Errorf("default-frequency dump: %q", b.String())
+	}
+	// At 1.2 GHz the same timestamp is 4 us — Dump must honour the
+	// configured clock, not a hard-coded 2400 cycles/us.
+	tr.SetHz(1.2e9)
+	b.Reset()
+	tr.Dump(&b)
+	if !strings.Contains(b.String(), "4.000us") {
+		t.Errorf("overridden-frequency dump: %q", b.String())
+	}
+	tr.SetHz(0) // reset to the simulation clock
+	b.Reset()
+	tr.Dump(&b)
+	if !strings.Contains(b.String(), "2.000us") {
+		t.Errorf("reset-frequency dump: %q", b.String())
+	}
+}
