@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke baseline ci
+.PHONY: build vet test race smoke baseline bench profile ci
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,19 @@ smoke:
 # the cost model or experiments; review the diff before committing).
 baseline:
 	$(GO) run ./cmd/reproduce -window 1 -skip-sensitivity -json ci/baseline.json > /dev/null
+
+# Host-side microbenchmarks of the simulation substrate (scheduler fence
+# path, page store, DMA translation). Results are host-dependent — they
+# are written to bench-host.txt for eyeballing, not gated.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/sim/ ./internal/mem/ ./internal/iommu/ | tee bench-host.txt
+
+# Profile the smoke workload: writes cpu.prof and mem.prof to /tmp.
+# Inspect with: go tool pprof -http=: /tmp/cpu.prof
+profile:
+	$(GO) run ./cmd/reproduce -window 1 -skip-sensitivity \
+		-cpuprofile /tmp/cpu.prof -memprofile /tmp/mem.prof > /dev/null
+	@echo "wrote /tmp/cpu.prof /tmp/mem.prof"
 
 ci: vet test race smoke

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cycles"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -27,7 +28,15 @@ func main() {
 	format := flag.String("format", "text", "output format: text|csv|json")
 	costsFile := flag.String("costs", "", "JSON cost-model override file (see internal/cycles)")
 	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	opt := bench.Options{WindowMs: *window}
 	if *costsFile != "" {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/bench"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -27,7 +28,15 @@ func main() {
 	skipSensitivity := flag.Bool("skip-sensitivity", false, "skip the (slow) sensitivity analysis")
 	jsonOut := flag.String("json", "", "also write a machine-readable artifact to this path (\"auto\" = BENCH_<date>.json)")
 	parallel := flag.Int("parallel", 0, "max concurrent sections (<=0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
 
 	opt := bench.Options{WindowMs: *window}
 	start := time.Now()

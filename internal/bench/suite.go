@@ -75,6 +75,7 @@ func RunSuite(sections []Section, opt Options, parallelism int) ([]*Table, error
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem; wg.Done() }()
+			start := time.Now()
 			t, err := sec.Run(opt)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", sec.Name, err)
@@ -83,6 +84,7 @@ func RunSuite(sections []Section, opt Options, parallelism int) ([]*Table, error
 			if t.Name == "" {
 				t.Name = sec.Name
 			}
+			t.WallMs = float64(time.Since(start).Microseconds()) / 1000
 			tables[i] = t
 		}()
 	}

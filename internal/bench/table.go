@@ -26,6 +26,9 @@ type Table struct {
 	Winner *report.Winner
 	// Series holds per-system numeric results, in insertion order.
 	Series []report.Series
+	// WallMs is the host wall-clock spent producing the table (stamped by
+	// RunSuite; informational, never part of the regression gate).
+	WallMs float64
 }
 
 // AddRow appends a row of cells.
@@ -69,6 +72,7 @@ func (t *Table) Experiment() report.Experiment {
 		Rows:    t.Rows,
 		Winner:  t.Winner,
 		Series:  t.Series,
+		WallMs:  t.WallMs,
 	}
 }
 
@@ -136,7 +140,8 @@ func (t *Table) JSON() (string, error) {
 		Rows    [][]string       `json:"rows"`
 		Winner  *report.Winner   `json:"winner,omitempty"`
 		Series  []report.Series  `json:"series,omitempty"`
-	}{t.Name, t.Title, t.Note, t.Columns, t.Rows, t.Winner, t.Series}, "", "  ")
+		WallMs  float64          `json:"wall_ms,omitempty"`
+	}{t.Name, t.Title, t.Note, t.Columns, t.Rows, t.Winner, t.Series, t.WallMs}, "", "  ")
 	if err != nil {
 		return "", err
 	}

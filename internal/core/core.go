@@ -137,15 +137,9 @@ func (s *ShadowMapper) Map(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iommu.IOVA
 		return 0, err
 	}
 	if dir == dmaapi.ToDevice || dir == dmaapi.Bidirectional {
-		data, err := s.env.Mem.Snapshot(buf)
-		if err != nil {
+		if err := s.copyBytes(p, buf.Addr, meta.Shadow().Addr, buf.Size); err != nil {
 			return 0, err
 		}
-		if err := s.env.Mem.Write(meta.Shadow().Addr, data); err != nil {
-			return 0, err
-		}
-		s.copyCost(p, buf.Size, s.env.Mem.DomainOf(buf.Addr), s.env.Mem.DomainOf(meta.Shadow().Addr))
-		s.stats.BytesCopied += uint64(buf.Size)
 	}
 	s.stats.Maps++
 	s.stats.BytesMapped += uint64(buf.Size)
@@ -187,15 +181,9 @@ func (s *ShadowMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir dmaapi.
 			}
 		}
 		if n > 0 {
-			data := make([]byte, n)
-			if err := s.env.Mem.Read(meta.Shadow().Addr, data); err != nil {
+			if err := s.copyBytes(p, meta.Shadow().Addr, osBuf.Addr, n); err != nil {
 				return err
 			}
-			if err := s.env.Mem.Write(osBuf.Addr, data); err != nil {
-				return err
-			}
-			s.copyCost(p, n, s.env.Mem.DomainOf(meta.Shadow().Addr), s.env.Mem.DomainOf(osBuf.Addr))
-			s.stats.BytesCopied += uint64(n)
 		}
 	}
 	s.pool.Release(p, meta)

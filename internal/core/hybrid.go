@@ -161,12 +161,10 @@ func (s *ShadowMapper) unmapHybrid(p *sim.Proc, addr iommu.IOVA, size int, dir d
 }
 
 // copyBytes moves n bytes between physical addresses, charging the copy.
+// mem.Copy moves the bytes inside simulated memory directly, so the host
+// side allocates nothing per operation.
 func (s *ShadowMapper) copyBytes(p *sim.Proc, from, to mem.Phys, n int) error {
-	data := make([]byte, n)
-	if err := s.env.Mem.Read(from, data); err != nil {
-		return err
-	}
-	if err := s.env.Mem.Write(to, data); err != nil {
+	if err := s.env.Mem.Copy(to, from, n); err != nil {
 		return err
 	}
 	s.copyCost(p, n, s.env.Mem.DomainOf(from), s.env.Mem.DomainOf(to))

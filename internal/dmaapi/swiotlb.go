@@ -87,11 +87,7 @@ func (s *SWIOTLB) Map(p *sim.Proc, buf mem.Buf, dir Dir) (iommu.IOVA, error) {
 		slot = mem.Buf{Addr: addr, Size: swiotlbClasses[class]}
 	}
 	if dir == ToDevice || dir == Bidirectional {
-		data, err := s.env.Mem.Snapshot(buf)
-		if err != nil {
-			return 0, err
-		}
-		if err := s.env.Mem.Write(slot.Addr, data); err != nil {
+		if err := s.env.Mem.Copy(slot.Addr, buf.Addr, buf.Size); err != nil {
 			return 0, err
 		}
 		p.Charge(cycles.TagMemcpy, s.env.Costs.Memcpy(buf.Size))
@@ -119,11 +115,7 @@ func (s *SWIOTLB) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) error {
 	delete(s.live, addr)
 	p.Charge(cycles.TagCopyMgmt, s.env.Costs.ShadowFind+s.env.Costs.ShadowRelease)
 	if dir == FromDevice || dir == Bidirectional {
-		data := make([]byte, size)
-		if err := s.env.Mem.Read(b.slot.Addr, data); err != nil {
-			return err
-		}
-		if err := s.env.Mem.Write(b.osBuf.Addr, data); err != nil {
+		if err := s.env.Mem.Copy(b.osBuf.Addr, b.slot.Addr, size); err != nil {
 			return err
 		}
 		p.Charge(cycles.TagMemcpy, s.env.Costs.Memcpy(size))
@@ -179,11 +171,7 @@ func (s *SWIOTLB) SyncForCPU(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) er
 		return fmt.Errorf("swiotlb: sync size %d exceeds mapping %d", size, b.osBuf.Size)
 	}
 	if dir == FromDevice || dir == Bidirectional {
-		data := make([]byte, size)
-		if err := s.env.Mem.Read(b.slot.Addr, data); err != nil {
-			return err
-		}
-		if err := s.env.Mem.Write(b.osBuf.Addr, data); err != nil {
+		if err := s.env.Mem.Copy(b.osBuf.Addr, b.slot.Addr, size); err != nil {
 			return err
 		}
 		p.Charge(cycles.TagMemcpy, s.env.Costs.Memcpy(size))
@@ -203,11 +191,7 @@ func (s *SWIOTLB) SyncForDevice(p *sim.Proc, addr iommu.IOVA, size int, dir Dir)
 		return fmt.Errorf("swiotlb: sync size %d exceeds mapping %d", size, b.osBuf.Size)
 	}
 	if dir == ToDevice || dir == Bidirectional {
-		data := make([]byte, size)
-		if err := s.env.Mem.Read(b.osBuf.Addr, data); err != nil {
-			return err
-		}
-		if err := s.env.Mem.Write(b.slot.Addr, data); err != nil {
+		if err := s.env.Mem.Copy(b.slot.Addr, b.osBuf.Addr, size); err != nil {
 			return err
 		}
 		p.Charge(cycles.TagMemcpy, s.env.Costs.Memcpy(size))

@@ -282,6 +282,86 @@ func TestIOTLBInvalidateScopes(t *testing.T) {
 	}
 }
 
+func TestIOTLBInvalidateStatsDeltas(t *testing.T) {
+	// Each Invalidate* call counts exactly once regardless of how many
+	// entries it drops or which scan strategy it uses, and invalidated
+	// entries become misses on the next lookup.
+	// Small set count so a multi-page range crosses sets, with enough
+	// ways that all 16 inserted entries fit without evictions.
+	tlb := NewIOTLB(4, 8)
+	load := func() {
+		for p := uint64(0); p < 8; p++ {
+			tlb.Insert(1, p, pte{pfn: 100 + p, valid: true}, 0)
+			tlb.Insert(2, p, pte{pfn: 200 + p, valid: true}, 0)
+		}
+	}
+
+	// 1-page invalidation: indexed path (npages < sets).
+	load()
+	inv, misses := tlb.Invalidations, tlb.Misses
+	tlb.InvalidatePages(1, 3, 1)
+	if got := tlb.Invalidations - inv; got != 1 {
+		t.Errorf("1-page invalidation counted %d times", got)
+	}
+	if tlb.Cached(1, 3) {
+		t.Error("1-page invalidation left the entry cached")
+	}
+	if !tlb.Cached(2, 3) {
+		t.Error("1-page invalidation leaked to another device")
+	}
+	if _, ok := tlb.Lookup(1, 3, 0); ok || tlb.Misses != misses+1 {
+		t.Error("invalidated page should miss")
+	}
+
+	// Multi-page range crossing sets, still on the indexed path.
+	load()
+	inv = tlb.Invalidations
+	tlb.InvalidatePages(1, 1, 3) // pages 1..3 hash to different sets
+	if got := tlb.Invalidations - inv; got != 1 {
+		t.Errorf("multi-page invalidation counted %d times", got)
+	}
+	for p := uint64(1); p <= 3; p++ {
+		if tlb.Cached(1, p) {
+			t.Errorf("page %d still cached after range invalidation", p)
+		}
+		if !tlb.Cached(2, p) {
+			t.Errorf("device 2 page %d dropped by device 1 invalidation", p)
+		}
+	}
+	if !tlb.Cached(1, 0) {
+		t.Error("page outside the range was dropped")
+	}
+
+	// Range >= sets: full-scan path, same observable behavior.
+	load()
+	inv = tlb.Invalidations
+	tlb.InvalidatePages(1, 0, 8)
+	if got := tlb.Invalidations - inv; got != 1 {
+		t.Errorf("large-range invalidation counted %d times", got)
+	}
+	for p := uint64(0); p < 8; p++ {
+		if tlb.Cached(1, p) {
+			t.Errorf("page %d survived large-range invalidation", p)
+		}
+	}
+
+	// Whole-device invalidation.
+	load()
+	inv = tlb.Invalidations
+	tlb.InvalidateDevice(2)
+	if got := tlb.Invalidations - inv; got != 1 {
+		t.Errorf("device invalidation counted %d times", got)
+	}
+	for p := uint64(0); p < 8; p++ {
+		if tlb.Cached(2, p) {
+			t.Errorf("device 2 page %d survived device invalidation", p)
+		}
+		if !tlb.Cached(1, p) {
+			t.Errorf("device 1 page %d dropped by device 2 invalidation", p)
+		}
+	}
+}
+
 func TestInvQueueAsyncCompletion(t *testing.T) {
 	eng, m, u := setup()
 	c := cycles.Default()

@@ -105,43 +105,55 @@ func (t *IOTLB) HitRate() float64 {
 	return float64(t.Hits) / float64(total)
 }
 
-// InvalidatePages drops cached translations for npages IOVA pages of a
-// device starting at page.
-func (t *IOTLB) InvalidatePages(dev DeviceID, page, npages uint64) {
-	t.Invalidations++
+// invalidateMatching drops every cached entry the predicate matches. It is
+// the shared full-scan core of the Invalidate* entry points; small ranged
+// invalidations take an indexed path instead (see InvalidatePages).
+func (t *IOTLB) invalidateMatching(match func(*iotlbEntry) bool) {
 	for s := range t.data {
 		set := t.data[s]
 		for i := range set {
-			if set[i].valid && set[i].dev == dev &&
-				set[i].iovaPage >= page && set[i].iovaPage < page+npages {
+			if set[i].valid && match(&set[i]) {
 				set[i].valid = false
 			}
 		}
 	}
+}
+
+// InvalidatePages drops cached translations for npages IOVA pages of a
+// device starting at page.
+func (t *IOTLB) InvalidatePages(dev DeviceID, page, npages uint64) {
+	t.Invalidations++
+	if npages < uint64(t.sets) {
+		// Small invalidation (the common case: strict per-unmap flushes
+		// are 1–16 pages): each target page can only live in its own hash
+		// set, so probe those sets directly instead of sweeping all
+		// sets×ways entries. Above sets pages, the full sweep touches
+		// fewer entries than per-page probing would.
+		for p := page; p < page+npages; p++ {
+			set := t.set(dev, p)
+			for i := range set {
+				if set[i].valid && set[i].dev == dev && set[i].iovaPage == p {
+					set[i].valid = false
+				}
+			}
+		}
+		return
+	}
+	t.invalidateMatching(func(e *iotlbEntry) bool {
+		return e.dev == dev && e.iovaPage >= page && e.iovaPage < page+npages
+	})
 }
 
 // InvalidateDevice drops all cached translations of a device.
 func (t *IOTLB) InvalidateDevice(dev DeviceID) {
 	t.Invalidations++
-	for s := range t.data {
-		set := t.data[s]
-		for i := range set {
-			if set[i].valid && set[i].dev == dev {
-				set[i].valid = false
-			}
-		}
-	}
+	t.invalidateMatching(func(e *iotlbEntry) bool { return e.dev == dev })
 }
 
 // InvalidateAll drops every cached translation (global invalidation).
 func (t *IOTLB) InvalidateAll() {
 	t.Invalidations++
-	for s := range t.data {
-		set := t.data[s]
-		for i := range set {
-			set[i].valid = false
-		}
-	}
+	t.invalidateMatching(func(*iotlbEntry) bool { return true })
 }
 
 // Cached reports whether a translation is currently cached (for tests).

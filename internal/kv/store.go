@@ -5,8 +5,6 @@
 package kv
 
 import (
-	"fmt"
-
 	"repro/internal/mem"
 )
 
@@ -68,11 +66,23 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 // Len returns the number of stored keys.
 func (s *Store) Len() int { return len(s.table) }
 
-// Key builds the canonical fixed-width benchmark key for index i.
+// Key builds the canonical fixed-width benchmark key for index i:
+// "key-" + 10 zero-padded digits, '.'-padded/truncated to keySize. One
+// allocation — the load generator calls this per request.
 func Key(i, keySize int) string {
-	k := fmt.Sprintf("key-%010d", i)
-	for len(k) < keySize {
-		k += "."
+	if i < 0 {
+		i = 0
 	}
-	return k[:keySize]
+	var head [14]byte // "key-" + 10 digits
+	copy(head[:], "key-")
+	for j := 13; j >= 4; j-- {
+		head[j] = byte('0' + i%10)
+		i /= 10
+	}
+	b := make([]byte, keySize)
+	n := copy(b, head[:])
+	for j := n; j < keySize; j++ {
+		b[j] = '.'
+	}
+	return string(b)
 }

@@ -1,0 +1,88 @@
+package mem
+
+import (
+	"testing"
+)
+
+// BenchmarkMemAccess4K measures the single-page access fast path (one
+// write + one read of a full page), which every DMA burst lands on. Must
+// be allocation-free.
+func BenchmarkMemAccess4K(b *testing.B) {
+	m := New(1)
+	addr, err := m.AllocPages(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	b.SetBytes(2 * PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Write(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Read(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemCopy64K measures the in-simulation copy primitive behind
+// the shadow-buffer data path (16 pages, page-chunked).
+func BenchmarkMemCopy64K(b *testing.B) {
+	m := New(1)
+	src, err := m.AllocPages(0, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := m.AllocPages(0, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fill(Buf{Addr: src, Size: 16 * PageSize}, 0xab); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(16 * PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Copy(dst, src, 16*PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemFill64K measures the allocation-free fill path.
+func BenchmarkMemFill64K(b *testing.B) {
+	m := New(1)
+	addr, err := m.AllocPages(0, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := Buf{Addr: addr, Size: 16 * PageSize}
+	b.SetBytes(16 * PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fill(buf, byte(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemAllocFree measures single-page allocate/free recycling (the
+// kmalloc backing-page churn of the simulated workloads).
+func BenchmarkMemAllocFree(b *testing.B) {
+	m := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, err := m.AllocPages(0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.FreePages(addr, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -41,18 +41,99 @@ func (b Buf) End() Phys { return b.Addr + Phys(b.Size) }
 // (2^22 frames = 16 GiB of address space per domain).
 const domainSpan = 1 << 22
 
+// Page frames live in fixed-size chunks materialized on demand, so the
+// store is flat (two array indexings per lookup, no hashing), frame
+// pointers are stable, and the chunks — pure byte arrays — are invisible
+// to the garbage collector. Allocation liveness is tracked in a separate
+// bitmap, not in the frames: AllocPages/FreePages never touch a chunk, so
+// a chunk only exists once a page in it is actually written. Pages that
+// are allocated, DMA-mapped and freed without a payload byte ever written
+// — the majority in the simulated workloads — cost no frame storage and
+// no zeroing at all; reads from them are served as zeros. The previous
+// map[uint64]*page store allocated a fresh GC-tracked 4 KiB object on
+// every AllocPages, which dominated benchmark wall clock.
+const (
+	chunkShift  = 8 // 256 frames (1 MiB of data) per chunk
+	chunkFrames = 1 << chunkShift
+)
+
+type frame struct {
+	data [PageSize]byte
+	// dirty is the high-water mark of bytes ever written to the frame
+	// since it was last zeroed. Recycling a freed frame only needs to
+	// clear data[:dirty]; bytes beyond the watermark are zero by
+	// invariant.
+	dirty int32
+}
+
+// wrote widens the dirty watermark after a write of [po, po+n).
+func (f *frame) wrote(po, n int) {
+	if end := int32(po + n); end > f.dirty {
+		f.dirty = end
+	}
+}
+
+type frameChunk [chunkFrames]frame
+
+type domainStore struct {
+	chunks   []*frameChunk
+	usedBits []uint64 // allocation bitmap, one bit per frame
+	free     []uint64 // recyclable single frames (PFNs), LIFO
+	nextPFN  uint64
+	inUse    uint64 // allocated frames
+}
+
+func (ds *domainStore) isUsed(idx uint64) bool {
+	w := idx >> 6
+	return w < uint64(len(ds.usedBits)) && ds.usedBits[w]&(1<<(idx&63)) != 0
+}
+
+func (ds *domainStore) setUsed(idx uint64) {
+	w := idx >> 6
+	for uint64(len(ds.usedBits)) <= w {
+		ds.usedBits = append(ds.usedBits, 0)
+	}
+	ds.usedBits[w] |= 1 << (idx & 63)
+}
+
+func (ds *domainStore) clearUsed(idx uint64) {
+	ds.usedBits[idx>>6] &^= 1 << (idx & 63)
+}
+
+// frame returns the frame at the domain-relative index, or nil if its chunk
+// was never materialized (the page, if allocated, reads as zeros).
+func (ds *domainStore) frame(idx uint64) *frame {
+	ci := idx >> chunkShift
+	if ci >= uint64(len(ds.chunks)) || ds.chunks[ci] == nil {
+		return nil
+	}
+	return &ds.chunks[ci][idx&(chunkFrames-1)]
+}
+
+// ensure returns the frame at idx, materializing its chunk if needed.
+func (ds *domainStore) ensure(idx uint64) *frame {
+	ci := idx >> chunkShift
+	for uint64(len(ds.chunks)) <= ci {
+		ds.chunks = append(ds.chunks, nil)
+	}
+	if ds.chunks[ci] == nil {
+		ds.chunks[ci] = new(frameChunk)
+	}
+	return &ds.chunks[ci][idx&(chunkFrames-1)]
+}
+
 // Memory is the simulated physical memory of one machine.
 type Memory struct {
 	domains int
-	pages   map[uint64]*page
-	nextPFN []uint64
-	freeOne [][]uint64 // per-domain free single frames
-	inUse   []uint64   // per-domain allocated frames
-}
+	doms    []domainStore
 
-type page struct {
-	data   [PageSize]byte
-	domain int
+	// One-entry translation cache for access(): DMA copies touch the same
+	// page repeatedly (a 64 KiB transfer is 16 page-sized accesses, rings
+	// poll the same descriptor page), so remembering the last frame skips
+	// the domain/chunk indexing on the hottest path. Only materialized
+	// frames are cached.
+	cachePFN uint64
+	cacheF   *frame
 }
 
 // New creates a machine memory with the given number of NUMA domains.
@@ -62,14 +143,11 @@ func New(domains int) *Memory {
 	}
 	m := &Memory{
 		domains: domains,
-		pages:   make(map[uint64]*page),
-		nextPFN: make([]uint64, domains),
-		freeOne: make([][]uint64, domains),
-		inUse:   make([]uint64, domains),
+		doms:    make([]domainStore, domains),
 	}
 	for d := 0; d < domains; d++ {
 		// PFN 0 is never allocated so that Phys(0) can mean "nil".
-		m.nextPFN[d] = uint64(d)*domainSpan + 1
+		m.doms[d].nextPFN = uint64(d)*domainSpan + 1
 	}
 	return m
 }
@@ -82,8 +160,44 @@ func (m *Memory) DomainOf(p Phys) int {
 	return int(p.PFN() / domainSpan)
 }
 
+// store returns the domain store holding pfn and the domain-relative index.
+func (m *Memory) store(pfn uint64) (*domainStore, uint64, bool) {
+	d := pfn / domainSpan
+	if d >= uint64(m.domains) {
+		return nil, 0, false
+	}
+	return &m.doms[d], pfn % domainSpan, true
+}
+
+// allocated reports whether pfn is an allocated page.
+func (m *Memory) allocated(pfn uint64) bool {
+	ds, rel, ok := m.store(pfn)
+	return ok && ds.isUsed(rel)
+}
+
+// peek returns the materialized frame for pfn, or nil — either because the
+// page is unallocated or because it was never written (check allocated()
+// to tell the two apart; in the latter case the page reads as zeros).
+func (m *Memory) peek(pfn uint64) *frame {
+	ds, rel, ok := m.store(pfn)
+	if !ok || !ds.isUsed(rel) {
+		return nil
+	}
+	return ds.frame(rel)
+}
+
+// mut returns the frame for pfn for writing, materializing its chunk.
+// ok is false if the page is unallocated.
+func (m *Memory) mut(pfn uint64) (*frame, bool) {
+	ds, rel, ok := m.store(pfn)
+	if !ok || !ds.isUsed(rel) {
+		return nil, false
+	}
+	return ds.ensure(rel), true
+}
+
 // AllocPages allocates n physically contiguous pages on the given NUMA
-// domain and returns the base address.
+// domain and returns the base address. Pages are zeroed.
 func (m *Memory) AllocPages(domain, n int) (Phys, error) {
 	if domain < 0 || domain >= m.domains {
 		return 0, fmt.Errorf("mem: bad domain %d", domain)
@@ -91,22 +205,32 @@ func (m *Memory) AllocPages(domain, n int) (Phys, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("mem: bad page count %d", n)
 	}
+	ds := &m.doms[domain]
 	var base uint64
-	if n == 1 && len(m.freeOne[domain]) > 0 {
-		fl := m.freeOne[domain]
-		base = fl[len(fl)-1]
-		m.freeOne[domain] = fl[:len(fl)-1]
+	if n == 1 && len(ds.free) > 0 {
+		base = ds.free[len(ds.free)-1]
+		ds.free = ds.free[:len(ds.free)-1]
+		rel := base - uint64(domain)*domainSpan
+		// A fresh allocation reads as zeros; only bytes actually written
+		// since the frame was last zeroed can be stale, and only if the
+		// frame was ever materialized at all.
+		if f := ds.frame(rel); f != nil && f.dirty > 0 {
+			clear(f.data[:f.dirty])
+			f.dirty = 0
+		}
+		ds.setUsed(rel)
 	} else {
-		base = m.nextPFN[domain]
+		base = ds.nextPFN
 		if base+uint64(n) > uint64(domain+1)*domainSpan {
 			return 0, fmt.Errorf("mem: domain %d exhausted", domain)
 		}
-		m.nextPFN[domain] += uint64(n)
+		ds.nextPFN += uint64(n)
+		rel := base - uint64(domain)*domainSpan
+		for i := uint64(0); i < uint64(n); i++ {
+			ds.setUsed(rel + i)
+		}
 	}
-	for i := uint64(0); i < uint64(n); i++ {
-		m.pages[base+i] = &page{domain: domain}
-	}
-	m.inUse[domain] += uint64(n)
+	ds.inUse += uint64(n)
 	return Phys(base << PageShift), nil
 }
 
@@ -117,21 +241,25 @@ func (m *Memory) FreePages(base Phys, n int) error {
 		return fmt.Errorf("mem: FreePages of unaligned %#x", uint64(base))
 	}
 	pfn := base.PFN()
-	domain := m.DomainOf(base)
+	ds, rel, ok := m.store(pfn)
+	if !ok {
+		return fmt.Errorf("mem: FreePages outside any domain: %#x", uint64(base))
+	}
+	m.cacheF = nil // the cached frame may be in the freed range
 	for i := uint64(0); i < uint64(n); i++ {
-		if _, ok := m.pages[pfn+i]; !ok {
+		if !ds.isUsed(rel + i) {
 			return fmt.Errorf("mem: double free of pfn %#x", pfn+i)
 		}
-		delete(m.pages, pfn+i)
-		m.freeOne[domain] = append(m.freeOne[domain], pfn+i)
+		ds.clearUsed(rel + i)
+		ds.free = append(ds.free, pfn+i)
 	}
-	m.inUse[domain] -= uint64(n)
+	ds.inUse -= uint64(n)
 	return nil
 }
 
 // InUseBytes returns the number of allocated bytes on a domain.
 func (m *Memory) InUseBytes(domain int) uint64 {
-	return m.inUse[domain] * PageSize
+	return m.doms[domain].inUse * PageSize
 }
 
 // Read copies memory starting at addr into b. It fails if any touched page
@@ -147,47 +275,178 @@ func (m *Memory) Write(addr Phys, b []byte) error {
 }
 
 func (m *Memory) access(addr Phys, b []byte, write bool) error {
-	// Validate the whole range first so failures have no partial effects.
-	for pfn := addr.PFN(); pfn <= (addr + Phys(len(b)) - 1).PFN(); pfn++ {
-		if len(b) == 0 {
-			break
+	if len(b) == 0 {
+		// Explicit early return: the last-page computation below would
+		// underflow for a zero-length access at address zero.
+		return nil
+	}
+	first := addr.PFN()
+	last := (addr + Phys(len(b)) - 1).PFN()
+	if first == last {
+		// Single-page access: the common case — iommu.dma splits DMA
+		// bursts at page boundaries, so every DMA copy lands here.
+		po := addr.Offset()
+		if f := m.cacheF; f != nil && m.cachePFN == first {
+			if write {
+				copy(f.data[po:po+len(b)], b)
+				f.wrote(po, len(b))
+			} else {
+				copy(b, f.data[po:po+len(b)])
+			}
+			return nil
 		}
-		if _, ok := m.pages[pfn]; !ok {
+		if write {
+			f, ok := m.mut(first)
+			if !ok {
+				return fmt.Errorf("mem: access to unallocated pfn %#x", first)
+			}
+			m.cachePFN, m.cacheF = first, f
+			copy(f.data[po:po+len(b)], b)
+			f.wrote(po, len(b))
+			return nil
+		}
+		f := m.peek(first)
+		if f == nil {
+			if !m.allocated(first) {
+				return fmt.Errorf("mem: access to unallocated pfn %#x", first)
+			}
+			clear(b) // allocated but never written: reads as zeros
+			return nil
+		}
+		m.cachePFN, m.cacheF = first, f
+		copy(b, f.data[po:po+len(b)])
+		return nil
+	}
+	// Validate the whole range first so failures have no partial effects.
+	for pfn := first; pfn <= last; pfn++ {
+		if !m.allocated(pfn) {
 			return fmt.Errorf("mem: access to unallocated pfn %#x", pfn)
 		}
 	}
 	off := 0
 	for off < len(b) {
 		a := addr + Phys(off)
-		pg := m.pages[a.PFN()]
 		po := a.Offset()
 		n := PageSize - po
 		if n > len(b)-off {
 			n = len(b) - off
 		}
 		if write {
-			copy(pg.data[po:po+n], b[off:off+n])
+			f, _ := m.mut(a.PFN())
+			copy(f.data[po:po+n], b[off:off+n])
+			f.wrote(po, n)
+		} else if f := m.peek(a.PFN()); f != nil {
+			copy(b[off:off+n], f.data[po:po+n])
 		} else {
-			copy(b[off:off+n], pg.data[po:po+n])
+			clear(b[off : off+n])
 		}
 		off += n
 	}
 	return nil
 }
 
-// Allocated reports whether the page containing addr is allocated.
-func (m *Memory) Allocated(addr Phys) bool {
-	_, ok := m.pages[addr.PFN()]
-	return ok
+// Copy transfers n bytes from src to dst inside simulated memory without
+// staging through a host-heap buffer (the shadow-copy hot path). Both
+// ranges are validated first, so failures have no partial effects. The
+// ranges must not overlap.
+func (m *Memory) Copy(dst, src Phys, n int) error {
+	if n <= 0 {
+		if n == 0 {
+			return nil
+		}
+		return fmt.Errorf("mem: copy of %d bytes", n)
+	}
+	for pfn := src.PFN(); pfn <= (src + Phys(n) - 1).PFN(); pfn++ {
+		if !m.allocated(pfn) {
+			return fmt.Errorf("mem: access to unallocated pfn %#x", pfn)
+		}
+	}
+	for pfn := dst.PFN(); pfn <= (dst + Phys(n) - 1).PFN(); pfn++ {
+		if !m.allocated(pfn) {
+			return fmt.Errorf("mem: access to unallocated pfn %#x", pfn)
+		}
+	}
+	for off := 0; off < n; {
+		s := src + Phys(off)
+		d := dst + Phys(off)
+		chunk := PageSize - s.Offset()
+		if c := PageSize - d.Offset(); c < chunk {
+			chunk = c
+		}
+		if c := n - off; c < chunk {
+			chunk = c
+		}
+		do := d.Offset()
+		if sf := m.peek(s.PFN()); sf != nil {
+			df, _ := m.mut(d.PFN())
+			copy(df.data[do:do+chunk], sf.data[s.Offset():s.Offset()+chunk])
+			df.wrote(do, chunk)
+		} else if df := m.peek(d.PFN()); df != nil {
+			// Source page was never written: it reads as zeros. Clearing
+			// the destination keeps its dirty watermark conservative but
+			// correct, and skips materializing anything when the
+			// destination was never written either.
+			clear(df.data[do : do+chunk])
+		}
+		off += chunk
+	}
+	return nil
 }
 
-// Fill writes the byte v over the buffer (test/attack convenience).
+// Allocated reports whether the page containing addr is allocated.
+func (m *Memory) Allocated(addr Phys) bool {
+	return m.allocated(addr.PFN())
+}
+
+// Fill writes the byte v over the buffer without staging through a
+// host-heap buffer (test/attack convenience, and allocation-free). Like
+// Write, it fails without partial effects if any touched page is
+// unallocated.
 func (m *Memory) Fill(b Buf, v byte) error {
-	data := make([]byte, b.Size)
-	for i := range data {
-		data[i] = v
+	if b.Size <= 0 {
+		if b.Size == 0 {
+			return nil
+		}
+		return fmt.Errorf("mem: fill of %d bytes", b.Size)
 	}
-	return m.Write(b.Addr, data)
+	for pfn := b.Addr.PFN(); pfn <= (b.End() - 1).PFN(); pfn++ {
+		if !m.allocated(pfn) {
+			return fmt.Errorf("mem: access to unallocated pfn %#x", pfn)
+		}
+	}
+	for off := 0; off < b.Size; {
+		a := b.Addr + Phys(off)
+		po := a.Offset()
+		n := PageSize - po
+		if n > b.Size-off {
+			n = b.Size - off
+		}
+		if v == 0 {
+			// Filling with zeros only needs work where the page was ever
+			// written; an unmaterialized page already reads as zeros.
+			if f := m.peek(a.PFN()); f != nil {
+				clear(f.data[po : po+n])
+			}
+		} else {
+			f, _ := m.mut(a.PFN())
+			memset(f.data[po:po+n], v)
+			f.wrote(po, n)
+		}
+		off += n
+	}
+	return nil
+}
+
+// memset fills dst with v (doubling copies; the zero case compiles to a
+// memclr-speed loop either way).
+func memset(dst []byte, v byte) {
+	if len(dst) == 0 {
+		return
+	}
+	dst[0] = v
+	for filled := 1; filled < len(dst); filled *= 2 {
+		copy(dst[filled:], dst[:filled])
+	}
 }
 
 // Snapshot reads the buffer's current contents into a fresh slice.

@@ -119,6 +119,109 @@ func TestPhysHelpers(t *testing.T) {
 	}
 }
 
+func TestZeroLengthAccess(t *testing.T) {
+	// Regression: a zero-length access at address zero used to compute
+	// last = (0 + 0 - 1) >> PageShift, underflowing to a huge PFN. It must
+	// be a successful no-op, even on unallocated addresses.
+	m := New(1)
+	if err := m.Read(0, nil); err != nil {
+		t.Errorf("Read(0, nil) = %v, want nil", err)
+	}
+	if err := m.Write(0, nil); err != nil {
+		t.Errorf("Write(0, nil) = %v, want nil", err)
+	}
+	if err := m.Read(0, []byte{}); err != nil {
+		t.Errorf("Read(0, empty) = %v, want nil", err)
+	}
+	if err := m.Copy(0, 0, 0); err != nil {
+		t.Errorf("Copy(0, 0, 0) = %v, want nil", err)
+	}
+	if err := m.Fill(Buf{}, 0xff); err != nil {
+		t.Errorf("Fill(empty) = %v, want nil", err)
+	}
+	// Non-empty access at unallocated address zero must still fail.
+	if err := m.Read(0, make([]byte, 1)); err == nil {
+		t.Error("Read of unallocated page should fail")
+	}
+}
+
+func TestRecycledPageReadsZero(t *testing.T) {
+	// A freed-and-reallocated page must read as zeros no matter what was
+	// written before the free (the dirty-watermark zeroing path).
+	m := New(1)
+	addr, err := m.AllocPages(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fill(Buf{Addr: addr, Size: PageSize}, 0xde); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FreePages(addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	again, err := m.AllocPages(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != addr {
+		t.Fatalf("expected LIFO recycling of %#x, got %#x", uint64(addr), uint64(again))
+	}
+	got := make([]byte, PageSize)
+	for i := range got {
+		got[i] = 0x55 // poison: Read must overwrite every byte
+	}
+	if err := m.Read(again, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("recycled page byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestNeverWrittenPageReadsZero(t *testing.T) {
+	// Allocated pages whose frames were never materialized read as zeros,
+	// including when copied into a materialized destination.
+	m := New(1)
+	src, err := m.AllocPages(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := m.AllocPages(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 100)
+	for i := range got {
+		got[i] = 0x55
+	}
+	if err := m.Read(src+20, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %#x, want 0", i, b)
+		}
+	}
+	// Write then overwrite-by-copy from a never-written source.
+	if err := m.Fill(Buf{Addr: dst, Size: PageSize}, 0xaa); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Copy(dst, src, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, PageSize)
+	if err := m.Read(dst, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range out {
+		if b != 0 {
+			t.Fatalf("copied-from-fresh byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
 func TestRandomReadWriteProperty(t *testing.T) {
 	m := New(1)
 	base, _ := m.AllocPages(0, 16)

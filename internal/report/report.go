@@ -63,6 +63,10 @@ type Experiment struct {
 	// each point — the per-figure claim benchdiff guards against flips.
 	Winner *Winner  `json:"winner,omitempty"`
 	Series []Series `json:"series,omitempty"`
+	// WallMs is the host wall-clock time spent producing this experiment,
+	// in milliseconds. Informational only (profiling aid): benchdiff
+	// never compares it — virtual-time metrics live in Series.
+	WallMs float64 `json:"wall_ms,omitempty"`
 }
 
 // Winner declares the claim-deciding metric of an experiment.

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkEngineFence measures the fence hot path: one proc doing
+// Work+yield with nothing else pending, which should take the same-proc
+// fast path (no park/resume channel round-trip, no heap traffic, zero
+// allocations per op).
+func BenchmarkEngineFence(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("w", 0, 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Work("bench", 10)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(^uint64(0))
+}
+
+// BenchmarkEngineFenceContended measures the slow path: two procs at
+// interleaved timestamps, so every fence goes through the wake queue and
+// the park/resume handshake.
+func BenchmarkEngineFenceContended(b *testing.B) {
+	e := NewEngine()
+	for c := 0; c < 2; c++ {
+		e.Spawn("w", c, 0, func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Work("bench", 10)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(^uint64(0))
+}
+
+// BenchmarkEngineTimerChurn measures the arm/cancel pattern of the
+// flush-queue timers (dmaapi deferred invalidation): every op schedules a
+// timer, cancels it, and lets lazy deletion discard it.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("w", 0, 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			t := e.ScheduleTimer(p.Now()+1000, func(uint64) {})
+			t.Cancel()
+			p.Sleep(10)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(^uint64(0))
+}

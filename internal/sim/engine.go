@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -18,11 +17,23 @@ import (
 type Engine struct {
 	now      uint64
 	seq      uint64
-	pq       wakeHeap
+	pq       []wakeItem // 4-ary min-heap ordered by (at, seq)
+	limit    uint64     // current Run's `until` (valid while running)
 	parked   chan struct{}
 	procs    []*Proc
 	stopping bool
 	running  bool
+
+	// noFastYield forces every fence/sleep through the park/resume slow
+	// path (the pre-optimization dispatch semantics). Tests use it to
+	// prove the fast path cannot reorder the simulation.
+	noFastYield bool
+
+	// Scheduler statistics (informational; virtual-time results never
+	// depend on them).
+	dispatches uint64
+	fastYields uint64
+	lazyDrops  uint64
 }
 
 // NewEngine returns an empty engine at virtual time zero.
@@ -36,36 +47,122 @@ func (e *Engine) Now() uint64 { return e.now }
 // Procs returns all spawned procs (for stats collection).
 func (e *Engine) Procs() []*Proc { return e.procs }
 
+// Dispatches returns how many queue items the engine dispatched (proc
+// resumes and callback invocations; lazily dropped cancelled timers and
+// fast-path yields are not dispatches).
+func (e *Engine) Dispatches() uint64 { return e.dispatches }
+
+// FastYields returns how many fence/sleep operations took the same-proc
+// fast path, skipping the park/resume channel round-trip.
+func (e *Engine) FastYields() uint64 { return e.fastYields }
+
+// LazyDrops returns how many cancelled timers were discarded from the wake
+// queue without being dispatched.
+func (e *Engine) LazyDrops() uint64 { return e.lazyDrops }
+
 type wakeItem struct {
 	at  uint64
 	seq uint64
 	p   *Proc            // either p
 	fn  func(now uint64) // or fn is set
+	t   *Timer           // set for cancellable timers (lazy deletion)
 }
 
-type wakeHeap []wakeItem
+// The wake queue is a hand-inlined 4-ary min-heap over []wakeItem keyed by
+// (at, seq). Compared to container/heap this avoids the interface{} boxing
+// allocation on every push/pop and the indirect Less/Swap calls; the wider
+// fanout halves the tree depth, which matters because the queue is touched
+// on every fence of every proc.
 
-func (h wakeHeap) Len() int { return len(h) }
-func (h wakeHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func wakeLess(a, b *wakeItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeItem)) }
-func (h *wakeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// pushRaw inserts an item that already carries its seq (heap re-insertion).
+func (e *Engine) pushRaw(it wakeItem) {
+	pq := append(e.pq, it)
+	i := len(pq) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !wakeLess(&pq[i], &pq[parent]) {
+			break
+		}
+		pq[i], pq[parent] = pq[parent], pq[i]
+		i = parent
+	}
+	e.pq = pq
 }
 
 func (e *Engine) push(it wakeItem) {
 	it.seq = e.seq
 	e.seq++
-	heap.Push(&e.pq, it)
+	e.pushRaw(it)
+}
+
+// popMin removes and returns the earliest item. The queue must be non-empty.
+func (e *Engine) popMin() wakeItem {
+	pq := e.pq
+	min := pq[0]
+	n := len(pq) - 1
+	pq[0] = pq[n]
+	pq[n] = wakeItem{} // release *Proc / fn references
+	pq = pq[:n]
+	e.pq = pq
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if wakeLess(&pq[c], &pq[best]) {
+				best = c
+			}
+		}
+		if !wakeLess(&pq[best], &pq[i]) {
+			break
+		}
+		pq[i], pq[best] = pq[best], pq[i]
+		i = best
+	}
+	return min
+}
+
+// pruneTop discards cancelled timers sitting at the head of the queue so
+// they never influence dispatch decisions (lazy deletion).
+func (e *Engine) pruneTop() {
+	for len(e.pq) > 0 && e.pq[0].t != nil && e.pq[0].t.cancelled {
+		e.popMin()
+		e.lazyDrops++
+	}
+}
+
+// tryFastYield reports whether a proc yielding until virtual time at may
+// simply continue running: the engine is mid-Run, at is within the run
+// limit, and every other pending item is strictly later — so the slow path
+// would pop the proc's own item right back. Same-timestamp items keep FIFO
+// priority (they hold smaller seqs), hence the strict comparison.
+func (e *Engine) tryFastYield(at uint64) bool {
+	if !e.running || e.stopping || e.noFastYield || at > e.limit {
+		return false
+	}
+	e.pruneTop()
+	if len(e.pq) > 0 && e.pq[0].at <= at {
+		return false
+	}
+	if at > e.now {
+		e.now = at
+	}
+	e.fastYields++
+	return true
 }
 
 // Schedule registers a callback to run at virtual time at. Callbacks run in
@@ -93,19 +190,22 @@ func (t *Timer) Cancelled() bool { return t.cancelled }
 // Fired reports whether the callback ran.
 func (t *Timer) Fired() bool { return t.fired }
 
-// Cancel prevents the callback from running if it has not fired yet.
+// Cancel prevents the callback from running if it has not fired yet. The
+// queue entry is deleted lazily: a cancelled timer is discarded when it
+// reaches the head of the wake queue, without dispatching or advancing any
+// engine bookkeeping.
 func (t *Timer) Cancel() { t.cancelled = true }
 
 // ScheduleTimer is Schedule with cancellation support.
 func (e *Engine) ScheduleTimer(at uint64, fn func(now uint64)) *Timer {
+	if fn == nil {
+		panic("sim: ScheduleTimer with nil fn")
+	}
 	t := &Timer{}
-	e.Schedule(at, func(now uint64) {
-		if t.cancelled {
-			return
-		}
-		t.fired = true
-		fn(now)
-	})
+	if at < e.now {
+		at = e.now
+	}
+	e.push(wakeItem{at: at, fn: fn, t: t})
 	return t
 }
 
@@ -151,11 +251,16 @@ func (e *Engine) Run(until uint64) uint64 {
 		panic("sim: re-entrant Run")
 	}
 	e.running = true
+	e.limit = until
 	defer func() { e.running = false }()
-	for e.pq.Len() > 0 {
-		it := heap.Pop(&e.pq).(wakeItem)
+	for len(e.pq) > 0 {
+		it := e.popMin()
+		if it.t != nil && it.t.cancelled {
+			e.lazyDrops++
+			continue
+		}
 		if it.at > until {
-			heap.Push(&e.pq, it)
+			e.pushRaw(it)
 			e.now = until
 			return e.now
 		}
@@ -163,6 +268,10 @@ func (e *Engine) Run(until uint64) uint64 {
 			e.now = it.at
 		}
 		if it.fn != nil {
+			e.dispatches++
+			if it.t != nil {
+				it.t.fired = true
+			}
 			it.fn(e.now)
 			continue
 		}
@@ -170,6 +279,7 @@ func (e *Engine) Run(until uint64) uint64 {
 		if p.done {
 			continue
 		}
+		e.dispatches++
 		p.wakeAt = it.at
 		p.resume <- struct{}{}
 		<-e.parked

@@ -67,7 +67,15 @@ func (p *Proc) park() {
 // re-dispatched once every other pending item at an earlier timestamp has
 // run. Shared-resource operations (locks, conditions) fence first so that
 // locally accumulated Charge costs cannot reorder cross-core interactions.
+//
+// Fast path: when every other pending item is strictly later than this
+// proc's clock, the engine would dispatch the proc straight back, so the
+// park/resume channel round-trip (two goroutine handoffs) is skipped
+// entirely and the proc keeps running.
 func (p *Proc) fence() {
+	if p.eng.tryFastYield(p.clock) {
+		return
+	}
 	p.eng.push(wakeItem{at: p.clock, p: p})
 	p.park()
 }
@@ -107,7 +115,12 @@ func (p *Proc) Work(tag string, c uint64) {
 
 // Sleep advances the local clock by c cycles of idle (non-busy) time.
 func (p *Proc) Sleep(c uint64) {
-	p.eng.push(wakeItem{at: p.clock + c, p: p})
+	at := p.clock + c
+	if p.eng.tryFastYield(at) {
+		p.clock = at // idle jump: busy is untouched
+		return
+	}
+	p.eng.push(wakeItem{at: at, p: p})
 	p.park()
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -397,6 +399,125 @@ func TestDeterminism(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Errorf("nondeterministic: run1[%d]=%d run2[%d]=%d", i, a[i], i, b[i])
+		}
+	}
+}
+
+func TestCancelledTimerNeverDispatches(t *testing.T) {
+	// A cancelled timer must be discarded lazily: no callback invocation,
+	// no dispatch counted, and the drop visible in LazyDrops.
+	e := NewEngine()
+	calls := 0
+	kept := e.ScheduleTimer(500, func(now uint64) { calls++ })
+	dropped := e.ScheduleTimer(100, func(now uint64) { calls += 100 })
+	dropped.Cancel()
+	e.Run(1_000)
+	if calls != 1 {
+		t.Fatalf("callback calls = %d, want 1 (cancelled timer must not run)", calls)
+	}
+	if dropped.Fired() || !dropped.Cancelled() {
+		t.Error("cancelled timer reports fired")
+	}
+	if !kept.Fired() {
+		t.Error("live timer did not fire")
+	}
+	if e.Dispatches() != 1 {
+		t.Errorf("dispatches = %d, want 1 (lazy drop must not count)", e.Dispatches())
+	}
+	if e.LazyDrops() != 1 {
+		t.Errorf("lazy drops = %d, want 1", e.LazyDrops())
+	}
+}
+
+func TestCancelAfterFireIsHarmless(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.ScheduleTimer(10, func(now uint64) { fired = true })
+	e.Run(100)
+	tm.Cancel()
+	if !fired || !tm.Fired() {
+		t.Error("timer should have fired before the late cancel")
+	}
+}
+
+// TestFastYieldEquivalence is the determinism guard for the same-proc fast
+// path: a randomized (fixed-seed) mix of work, sleeps, lock contention,
+// timers and cond signals must produce bit-identical per-proc clocks, busy
+// cycles and tagged totals whether the fast path is enabled (default) or
+// every yield is forced through the park/resume slow path. Run with
+// -count=10 to check stability across goroutine schedules.
+func TestFastYieldEquivalence(t *testing.T) {
+	type result struct {
+		clock, busy uint64
+		tagged      map[string]uint64
+		final       uint64
+	}
+	script := func(noFast bool, seed int64) []result {
+		e := NewEngine()
+		e.noFastYield = noFast
+		rng := rand.New(rand.NewSource(seed))
+		l := NewSpinlock("l", "spin", LockCosts{Uncontended: 9, HandoffBase: 31, HandoffPerWaiter: 57})
+		procs := make([]*Proc, 4)
+		for i := range procs {
+			// Per-proc deterministic sub-seed so the script does not
+			// depend on cross-proc rng interleaving.
+			sub := rand.New(rand.NewSource(seed ^ int64(i*7919)))
+			procs[i] = e.Spawn(fmt.Sprintf("w%d", i), i, uint64(rng.Intn(50)), func(p *Proc) {
+				for j := 0; j < 300; j++ {
+					switch sub.Intn(5) {
+					case 0:
+						p.Work("w", uint64(1+sub.Intn(40)))
+					case 1:
+						p.Sleep(uint64(sub.Intn(120)))
+					case 2:
+						l.Lock(p)
+						p.Work("crit", uint64(1+sub.Intn(15)))
+						l.Unlock(p)
+					case 3:
+						tm := e.ScheduleTimer(p.Now()+uint64(sub.Intn(200)), func(uint64) {})
+						if sub.Intn(2) == 0 {
+							tm.Cancel()
+						}
+						p.Yield()
+					case 4:
+						p.Charge("local", uint64(sub.Intn(25)))
+					}
+				}
+			})
+		}
+		final := e.Run(10_000_000)
+		e.Stop()
+		out := make([]result, len(procs))
+		for i, p := range procs {
+			tagged := make(map[string]uint64, len(p.Tagged()))
+			for k, v := range p.Tagged() {
+				tagged[k] = v
+			}
+			out[i] = result{clock: p.Now(), busy: p.Busy(), tagged: tagged, final: final}
+		}
+		return out
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		fast, slow := script(false, seed), script(true, seed)
+		for i := range fast {
+			if fast[i].clock != slow[i].clock || fast[i].busy != slow[i].busy {
+				t.Errorf("seed %d proc %d: fast clock/busy %d/%d != slow %d/%d",
+					seed, i, fast[i].clock, fast[i].busy, slow[i].clock, slow[i].busy)
+			}
+			if fast[i].final != slow[i].final {
+				t.Errorf("seed %d: final time %d != %d", seed, fast[i].final, slow[i].final)
+			}
+			for k, v := range fast[i].tagged {
+				if slow[i].tagged[k] != v {
+					t.Errorf("seed %d proc %d tag %q: fast %d != slow %d",
+						seed, i, k, v, slow[i].tagged[k])
+				}
+			}
+			for k, v := range slow[i].tagged {
+				if fast[i].tagged[k] != v {
+					t.Errorf("seed %d proc %d tag %q: slow-only value %d", seed, i, k, v)
+				}
+			}
 		}
 	}
 }
