@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke baseline bench profile ci
+.PHONY: build vet test race smoke baseline bench profile fuzz fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -41,4 +41,40 @@ profile:
 		-cpuprofile /tmp/cpu.prof -memprofile /tmp/mem.prof > /dev/null
 	@echo "wrote /tmp/cpu.prof /tmp/mem.prof"
 
-ci: vet test race smoke
+# Native coverage-guided fuzzing of the two lowest-level contracts
+# (IOMMU translation vs. a model page table; mem access vs. a model
+# byte store), seeded from dmafuzz-generated corpora. Short budgets —
+# this is a smoke pass; raise -fuzztime for a real fuzzing session.
+fuzz:
+	$(GO) test ./internal/iommu/ -run '^$$' -fuzz '^FuzzTranslate$$' -fuzztime 10s
+	$(GO) test ./internal/mem/ -run '^$$' -fuzz '^FuzzAccess$$' -fuzztime 10s
+
+# Deterministic differential-fuzzing smoke for CI (~10 s): fixed seeds
+# through every backend and all three oracle families, a byte-identical
+# determinism check, and a canary that the harness still catches the
+# reintroduced deferred-window bug (strict unmap skipping invalidation).
+fuzz-smoke:
+	$(GO) run ./cmd/dmafuzz -seed 1 -n 500 > /dev/null
+	$(GO) run ./cmd/dmafuzz -seed 2 -n 500 > /dev/null
+	$(GO) run ./cmd/dmafuzz -seed 3 -n 300 -alloc-fail-every 7 > /dev/null
+	$(GO) run ./cmd/dmafuzz -seed 1 -n 500 -json > /tmp/dmafuzz-a.json
+	$(GO) run ./cmd/dmafuzz -seed 1 -n 500 -json > /tmp/dmafuzz-b.json
+	cmp /tmp/dmafuzz-a.json /tmp/dmafuzz-b.json
+	@if $(GO) run ./cmd/dmafuzz -seed 1 -n 200 -backends strict \
+		-inject-bug skipinval -no-minimize > /dev/null 2>&1; then \
+		echo "fuzz-smoke: reintroduced skipinval bug NOT caught"; exit 1; \
+	fi
+	@echo "fuzz-smoke: oracles pass on fixed seeds; injected bug caught"
+
+# Coverage gate: total statement coverage must not drop below the
+# committed floor in ci/coverage-baseline.txt. Raise the floor when
+# coverage improves; never lower it to make CI pass.
+cover:
+	$(GO) test -count=1 -coverprofile=/tmp/coverage.out ./... > /dev/null
+	@total=$$($(GO) tool cover -func=/tmp/coverage.out | tail -1 | awk '{gsub(/%/,""); print $$3}'); \
+	floor=$$(cat ci/coverage-baseline.txt); \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { \
+		if (t+0 < f+0) { printf "coverage gate: %.1f%% < baseline %.1f%%\n", t, f; exit 1 } \
+		printf "coverage gate: %.1f%% >= baseline %.1f%%\n", t, f }'
+
+ci: vet test race smoke fuzz-smoke cover

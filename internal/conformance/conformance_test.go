@@ -1,278 +1,107 @@
-// Package conformance differentially tests every DMA-protection strategy
-// against the same randomized benign driver workload: whatever the
-// protection model, the DMA API contract must produce identical functional
-// outcomes (device reads see mapped data, device writes appear in the OS
-// buffer after unmap, benign DMAs never fault). This pins down the
-// transparency property the paper's design depends on (§5.1): drivers
-// cannot tell the strategies apart.
+// Package conformance pins the DMA API's cross-strategy contract by
+// driving the differential fuzzing harness (internal/dmafuzz) over fixed
+// seeds: whatever the protection model, the same driver workload must
+// produce identical OS-visible outcomes (the paper's transparency
+// property, §5.1), malicious probes must stay within granted authority
+// except in the paper-predicted windows, and teardown must return every
+// allocator to baseline.
+//
+// The verification logic itself — per-op differential comparison,
+// security-invariant checks with positive window observation, and
+// resource baselines — lives in dmafuzz's oracles; this package just
+// pins a wider seed matrix than the harness's own tests and documents
+// the conformance contract.
 package conformance
 
 import (
-	"bytes"
 	"fmt"
-	"math/rand"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/cycles"
-	"repro/internal/dmaapi"
-	"repro/internal/iommu"
-	"repro/internal/mem"
-	"repro/internal/sim"
+	"repro/internal/dmafuzz"
 )
 
-var systems = []string{
-	"no iommu", "copy", "identity-", "identity+", "strict", "defer",
-	"swiotlb", "selfinval",
-}
-
-func newMapper(t *testing.T, name string, env *dmaapi.Env) dmaapi.Mapper {
-	t.Helper()
-	switch name {
-	case "no iommu":
-		return dmaapi.NewNoIOMMU(env)
-	case "copy":
-		m, err := core.NewShadowMapper(env) // no hint: full-fidelity copies
-		if err != nil {
-			t.Fatal(err)
-		}
-		return m
-	case "identity-":
-		return dmaapi.NewIdentity(env, true)
-	case "identity+":
-		return dmaapi.NewIdentity(env, false)
-	case "strict":
-		return dmaapi.NewLinux(env, false)
-	case "defer":
-		return dmaapi.NewLinux(env, true)
-	case "swiotlb":
-		return dmaapi.NewSWIOTLB(env)
-	case "selfinval":
-		return dmaapi.NewSelfInval(env, cycles.FromMillis(50))
-	}
-	t.Fatalf("unknown system %s", name)
-	return nil
-}
-
-type mapping struct {
-	addr    iommu.IOVA
-	buf     mem.Buf
-	dir     dmaapi.Dir
-	orig    []byte // OS buffer content at map time
-	written []byte // device-written content (FromDevice/Bidirectional)
-}
-
+// TestAllMappersFunctionallyEquivalent: benign traces through every
+// backend produce identical per-op outcomes (skip decisions, errors,
+// faults, transfer sizes, and content checksums). The differential
+// oracle compares each backend against the first, so one subtest failure
+// names the exact diverging op.
 func TestAllMappersFunctionallyEquivalent(t *testing.T) {
-	for _, sys := range systems {
-		for seed := int64(1); seed <= 3; seed++ {
-			t.Run(fmt.Sprintf("%s/seed%d", sys, seed), func(t *testing.T) {
-				runWorkload(t, sys, seed)
-			})
+	for seed := int64(10); seed <= 14; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rep, err := dmafuzz.Run(dmafuzz.Config{Seed: seed, NumOps: 250})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				t.Fatalf("conformance violated:\n%v", rep.Failures())
+			}
+			for _, br := range rep.Backends {
+				if br.Executed == 0 {
+					t.Errorf("%s: workload executed nothing", br.Backend)
+				}
+			}
+		})
+	}
+}
+
+// TestSecurityProfilesHold: each strategy's probes observe exactly the
+// authority the paper predicts — deferred windows on deferred designs,
+// sub-page leaks on page-granular zero-copy designs, arbitrary access on
+// swiotlb, nothing on copy — and the eligibility counters prove the
+// probes actually ran rather than passing vacuously.
+func TestSecurityProfilesHold(t *testing.T) {
+	rep, err := dmafuzz.Run(dmafuzz.Config{Seed: 20, NumOps: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("security profiles violated:\n%v", rep.Failures())
+	}
+	for _, br := range rep.Backends {
+		sec := br.Security
+		if sec.StaleProbes == 0 || sec.SubPageEligible == 0 || sec.ArbitraryProbes == 0 {
+			t.Errorf("%s: probes under-exercised: %+v", br.Backend, sec)
 		}
 	}
 }
 
-func runWorkload(t *testing.T, sys string, seed int64) {
-	eng := sim.NewEngine()
-	m := mem.New(2)
-	u := iommu.New(eng, m, cycles.Default())
-	env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: cycles.Default(), Dev: 1, Cores: 2}
-	mapper := newMapper(t, sys, env)
-	k := mem.NewKmalloc(m, nil)
-	rng := rand.New(rand.NewSource(seed))
-
-	dirs := []dmaapi.Dir{dmaapi.ToDevice, dmaapi.FromDevice, dmaapi.Bidirectional}
-	eng.Spawn("driver", 0, 0, func(p *sim.Proc) {
-		var live []*mapping
-		unmapOne := func(i int) {
-			mp := live[i]
-			live[i] = live[len(live)-1]
-			live = live[:len(live)-1]
-			if err := mapper.Unmap(p, mp.addr, mp.buf.Size, mp.dir); err != nil {
-				t.Errorf("unmap: %v", err)
-				return
-			}
-			snap, err := m.Snapshot(mp.buf)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			switch mp.dir {
-			case dmaapi.ToDevice:
-				// The CPU-side buffer must be untouched.
-				if !bytes.Equal(snap, mp.orig) {
-					t.Errorf("ToDevice buffer modified across map/unmap")
-				}
-			case dmaapi.FromDevice, dmaapi.Bidirectional:
-				want := append([]byte{}, mp.orig...)
-				copy(want, mp.written)
-				if mp.written != nil && !bytes.Equal(snap[:len(mp.written)], mp.written) {
-					t.Errorf("device-written data missing after unmap (dir %v)", mp.dir)
-				}
-				_ = want
-			}
+// TestUnmappedIOVAsEventuallyProtected: dmafuzz's teardown-containment
+// probes re-issue DMA on every formerly mapped IOVA after quiesce plus a
+// settle period past all TTLs; the security oracle fails any backend —
+// including the deferred ones — where such a write still reaches OS
+// memory. Requiring FinalProbes > 0 keeps the check non-vacuous.
+func TestUnmappedIOVAsEventuallyProtected(t *testing.T) {
+	rep, err := dmafuzz.Run(dmafuzz.Config{Seed: 30, NumOps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("containment violated:\n%v", rep.Failures())
+	}
+	for _, br := range rep.Backends {
+		if br.Security.FinalProbes == 0 {
+			t.Errorf("%s: no teardown containment probes ran", br.Backend)
 		}
-		for op := 0; op < 250; op++ {
-			if len(live) > 0 && (len(live) >= 12 || rng.Intn(100) < 40) {
-				unmapOne(rng.Intn(len(live)))
-				continue
-			}
-			size := 1 + rng.Intn(64*1024-1)
-			buf, err := k.Alloc(rng.Intn(2), size)
-			if err != nil {
-				t.Fatal(err)
-			}
-			orig := make([]byte, size)
-			rng.Read(orig)
-			if err := m.Write(buf.Addr, orig); err != nil {
-				t.Fatal(err)
-			}
-			dir := dirs[rng.Intn(len(dirs))]
-			addr, err := mapper.Map(p, buf, dir)
-			if err != nil {
-				t.Fatalf("map(%d bytes, %v): %v", size, dir, err)
-			}
-			mp := &mapping{addr: addr, buf: buf, dir: dir, orig: orig}
-			// Exercise the device side.
-			if dir == dmaapi.ToDevice || dir == dmaapi.Bidirectional {
-				got := make([]byte, size)
-				res := u.DMARead(1, addr, got)
-				if res.Fault != nil {
-					t.Fatalf("benign device read faulted: %v", res.Fault)
-				}
-				if !bytes.Equal(got, orig) {
-					t.Fatalf("device read wrong data (dir %v size %d)", dir, size)
-				}
-			}
-			if dir == dmaapi.FromDevice || dir == dmaapi.Bidirectional {
-				n := 1 + rng.Intn(size)
-				payload := make([]byte, n)
-				rng.Read(payload)
-				res := u.DMAWrite(1, addr, payload)
-				if res.Fault != nil {
-					t.Fatalf("benign device write faulted: %v", res.Fault)
-				}
-				mp.written = payload
-				// dma_sync_single_for_cpu mid-mapping: every strategy
-				// must make the device's writes CPU-visible.
-				if rng.Intn(100) < 30 {
-					if err := mapper.SyncForCPU(p, addr, size, dir); err != nil {
-						t.Fatalf("sync_for_cpu: %v", err)
-					}
-					snap, err := m.Snapshot(mem.Buf{Addr: buf.Addr, Size: n})
-					if err != nil {
-						t.Fatal(err)
-					}
-					if !bytes.Equal(snap, payload) {
-						t.Fatalf("sync_for_cpu did not expose device writes (%s, %d bytes)", sys, n)
-					}
-				}
-			}
-			live = append(live, mp)
-			p.Work("think", uint64(rng.Intn(2000)))
+		if br.Security.FinalObserved != 0 {
+			t.Errorf("%s: %d stale IOVAs reached OS memory after teardown",
+				br.Backend, br.Security.FinalObserved)
 		}
-		for len(live) > 0 {
-			unmapOne(len(live) - 1)
-		}
-		mapper.Quiesce(p)
-
-		// Scatter/gather path, same contract.
-		bufs := make([]mem.Buf, 3)
-		conts := make([][]byte, 3)
-		for i := range bufs {
-			b, err := k.Alloc(0, 256+rng.Intn(2048))
-			if err != nil {
-				t.Fatal(err)
-			}
-			conts[i] = make([]byte, b.Size)
-			rng.Read(conts[i])
-			m.Write(b.Addr, conts[i])
-			bufs[i] = b
-		}
-		addrs, err := mapper.MapSG(p, bufs, dmaapi.ToDevice)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, a := range addrs {
-			got := make([]byte, bufs[i].Size)
-			if res := u.DMARead(1, a, got); res.Fault != nil || !bytes.Equal(got, conts[i]) {
-				t.Errorf("SG element %d wrong through %s", i, sys)
-			}
-		}
-		sizes := []int{bufs[0].Size, bufs[1].Size, bufs[2].Size}
-		if err := mapper.UnmapSG(p, addrs, sizes, dmaapi.ToDevice); err != nil {
-			t.Fatal(err)
-		}
-
-		// Coherent path, same contract.
-		caddr, cbuf, err := mapper.AllocCoherent(p, 3000)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res := u.DMAWrite(1, caddr, []byte("ring-entry")); res.Fault != nil {
-			t.Errorf("coherent write faulted: %v", res.Fault)
-		}
-		snap := make([]byte, 10)
-		m.Read(cbuf.Addr, snap)
-		if string(snap) != "ring-entry" {
-			t.Error("coherent buffer not shared")
-		}
-		if err := mapper.FreeCoherent(p, caddr, cbuf); err != nil {
-			t.Fatal(err)
-		}
-	})
-	eng.Run(1 << 50)
-	eng.Stop()
+	}
 }
 
-// TestUnmappedIOVAsEventuallyProtected verifies the end-state security
-// contract that all IOMMU-backed strategies share: once all mappings are
-// released, flushed and (for selfinval) expired, none of the previously
-// used IOVAs may accept a device write to OS-visible memory.
-func TestUnmappedIOVAsEventuallyProtected(t *testing.T) {
-	for _, sys := range systems {
-		if sys == "no iommu" || sys == "swiotlb" {
-			continue // these provide no containment by design
-		}
-		t.Run(sys, func(t *testing.T) {
-			eng := sim.NewEngine()
-			m := mem.New(1)
-			u := iommu.New(eng, m, cycles.Default())
-			env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: cycles.Default(), Dev: 1, Cores: 1}
-			mapper := newMapper(t, sys, env)
-			k := mem.NewKmalloc(m, nil)
-			eng.Spawn("driver", 0, 0, func(p *sim.Proc) {
-				var addrs []iommu.IOVA
-				var bufs []mem.Buf
-				for i := 0; i < 20; i++ {
-					b, _ := k.Alloc(0, 1500)
-					a, err := mapper.Map(p, b, dmaapi.FromDevice)
-					if err != nil {
-						t.Fatal(err)
-					}
-					u.DMAWrite(1, a, []byte("benign"))
-					addrs = append(addrs, a)
-					bufs = append(bufs, b)
-				}
-				for i, a := range addrs {
-					if err := mapper.Unmap(p, a, bufs[i].Size, dmaapi.FromDevice); err != nil {
-						t.Fatal(err)
-					}
-				}
-				mapper.Quiesce(p)
-				p.Sleep(cycles.FromMillis(60)) // past TTLs and hw drains
-				for i, a := range addrs {
-					before, _ := m.Snapshot(bufs[i])
-					u.DMAWrite(1, a, []byte("EVIL"))
-					after, _ := m.Snapshot(bufs[i])
-					if !bytes.Equal(before, after) {
-						t.Errorf("stale IOVA %#x still reaches OS memory under %s", uint64(a), sys)
-						return
-					}
-				}
-			})
-			eng.Run(1 << 50)
-			eng.Stop()
-		})
+// TestConformanceUnderFaultInjection: with allocation failures striking
+// every 5th page allocation, functional differential comparison is
+// suspended (failures land at backend-dependent points) but the security
+// and accounting invariants must still hold on every backend.
+func TestConformanceUnderFaultInjection(t *testing.T) {
+	rep, err := dmafuzz.Run(dmafuzz.Config{
+		Seed: 40, NumOps: 200,
+		Plan: dmafuzz.FaultPlan{AllocFailEvery: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("fault-injected conformance violated:\n%v", rep.Failures())
 	}
 }

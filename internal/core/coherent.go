@@ -36,6 +36,7 @@ func (s *ShadowMapper) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf
 		return 0, mem.Buf{}, err
 	}
 	s.stats.CoherentAllocs++
+	s.coherent++
 	return base, mem.Buf{Addr: phys, Size: size}, nil
 }
 
@@ -55,5 +56,6 @@ func (s *ShadowMapper) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) e
 	if err := s.extAlloc.Free(p.Core(), addr, pages); err != nil {
 		return err
 	}
+	s.coherent--
 	return env.Mem.FreePages(buf.Addr, pages)
 }

@@ -62,7 +62,8 @@ type ShadowMapper struct {
 	extAlloc  *iova.MagazineAllocator
 	pageCache [][]mem.Phys // per-core cache of head/tail shadow pages
 
-	stats dmaapi.Stats
+	coherent int // outstanding coherent allocations
+	stats    dmaapi.Stats
 }
 
 type hybridMapping struct {
@@ -138,6 +139,7 @@ func (s *ShadowMapper) Map(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iommu.IOVA
 	}
 	if dir == dmaapi.ToDevice || dir == dmaapi.Bidirectional {
 		if err := s.copyBytes(p, buf.Addr, meta.Shadow().Addr, buf.Size); err != nil {
+			s.pool.Release(p, meta)
 			return 0, err
 		}
 	}
@@ -233,4 +235,18 @@ func (s *ShadowMapper) Stats() dmaapi.Stats {
 	st.ShadowGrows = ps.Grows
 	st.FallbackMaps = ps.FallbackBuffers
 	return st
+}
+
+// Accounting implements Mapper. The shadow pool itself is a permanent
+// cache and excluded; acquired-but-unreleased shadow buffers and live
+// hybrid mappings are the strategy's live state. IOVAPagesHeld covers the
+// external allocator only (hybrid middles and coherent buffers) — pool
+// IOVAs are permanent.
+func (s *ShadowMapper) Accounting() dmaapi.Accounting {
+	ps := s.pool.Stats()
+	return dmaapi.Accounting{
+		LiveMappings:  int(ps.Acquires-ps.Releases) + len(s.hybrids),
+		LiveCoherent:  s.coherent,
+		IOVAPagesHeld: s.extAlloc.Outstanding(),
+	}
 }

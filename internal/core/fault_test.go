@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dmaapi"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Fault injection against the shadow mapper: allocation failures strike
+// inside pool growth and the hybrid head/tail path, and every partial
+// construction must unwind to exactly the prior accounting state.
+
+func TestShadowSGUnwindsUnderAllocFail(t *testing.T) {
+	r := newRig(t, 1)
+	// Buffers large enough that each SG element needs a fresh pool grow
+	// (nothing free-listed yet), so the injected failure lands mid-list.
+	bufs := []mem.Buf{r.alloc(t, 3000), r.alloc(t, 3000), r.alloc(t, 3000)}
+	r.run(t, func(p *sim.Proc) {
+		// Fail the SECOND page allocation: element 0 grows its shadow
+		// buffer, element 1's grow fails mid-scatter-list.
+		n := 0
+		r.env.Mem.AllocFail = func(domain, pages int) bool {
+			n++
+			return n == 2
+		}
+		_, err := r.s.MapSG(p, bufs, dmaapi.ToDevice)
+		r.env.Mem.AllocFail = nil
+		if err == nil {
+			t.Fatal("SG map should fail when pool growth hits allocation failure")
+		}
+		if !errors.Is(err, mem.ErrInjectedAllocFail) {
+			t.Fatalf("error does not unwrap to injected failure: %v", err)
+		}
+		if acct := r.s.Accounting(); !acct.Zero() {
+			t.Fatalf("mid-SG failure leaked shadow state: %+v", acct)
+		}
+		// The element-0 shadow buffer it did grow went back to the free
+		// list; the same SG list must now map without further growth.
+		addrs, err := r.s.MapSG(p, bufs, dmaapi.ToDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.s.UnmapSG(p, addrs, []int{3000, 3000, 3000}, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+		if acct := r.s.Accounting(); !acct.Zero() {
+			t.Fatalf("accounting not restored after SG round trip: %+v", acct)
+		}
+	})
+}
+
+func TestHybridMapUnwindsUnderAllocFail(t *testing.T) {
+	r := newRig(t, 1)
+	// > MaxClass (64 KiB) and page-misaligned on both ends, so the hybrid
+	// path needs the IOVA range, a head page, and a tail page. Kmalloc's
+	// whole-page fallback is page-aligned, so carve a misaligned window
+	// out of a larger allocation.
+	backing := r.alloc(t, 80*1024)
+	buf := mem.Buf{Addr: backing.Addr + 123, Size: 70*1024 + 500}
+	r.run(t, func(p *sim.Proc) {
+		for failAt := 1; failAt <= 2; failAt++ {
+			n := 0
+			r.env.Mem.AllocFail = func(domain, pages int) bool {
+				n++
+				return n == failAt
+			}
+			_, err := r.s.Map(p, buf, dmaapi.Bidirectional)
+			r.env.Mem.AllocFail = nil
+			if err == nil {
+				t.Fatalf("failAt=%d: hybrid map should fail", failAt)
+			}
+			if acct := r.s.Accounting(); !acct.Zero() {
+				t.Fatalf("failAt=%d: hybrid unwind leaked: %+v", failAt, acct)
+			}
+		}
+		// And with no failure the same buffer maps fine.
+		addr, err := r.s.Map(p, buf, dmaapi.Bidirectional)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.s.Unmap(p, addr, buf.Size, dmaapi.Bidirectional); err != nil {
+			t.Fatal(err)
+		}
+		if acct := r.s.Accounting(); !acct.Zero() {
+			t.Fatalf("accounting not zero after hybrid round trip: %+v", acct)
+		}
+	})
+}
+
+func TestShadowDoubleUnmapAndNeverMapped(t *testing.T) {
+	r := newRig(t, 1)
+	buf := r.alloc(t, 2000)
+	r.run(t, func(p *sim.Proc) {
+		addr, err := r.s.Map(p, buf, dmaapi.FromDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.s.Unmap(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.s.Unmap(p, addr, buf.Size, dmaapi.FromDevice); err == nil {
+			t.Fatal("double unmap of released shadow buffer succeeded")
+		}
+		// A shadow-looking IOVA nothing handed out, and a hybrid-region
+		// IOVA with no hybrid mapping: both must fail gracefully.
+		if err := r.s.Unmap(p, addr+1<<20, buf.Size, dmaapi.FromDevice); err == nil {
+			t.Fatal("unmap of never-acquired shadow IOVA succeeded")
+		}
+		if err := r.s.Unmap(p, 1<<34|0x5000, mem.PageSize, dmaapi.FromDevice); err == nil {
+			t.Fatal("unmap of never-mapped hybrid IOVA succeeded")
+		}
+		if acct := r.s.Accounting(); !acct.Zero() {
+			t.Fatalf("failed unmaps perturbed accounting: %+v", acct)
+		}
+	})
+}

@@ -45,23 +45,42 @@ func (s *ShadowMapper) mapHybrid(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iomm
 	perm := dir.Perm()
 	dom := env.DomainOfCore(p.Core())
 	cursor := base
+	// unwind releases everything a partially built mapping holds — the
+	// IOVA range, any page-table entries installed so far, and the
+	// head/tail shadow pages — so a mid-map failure (e.g. allocation
+	// pressure) leaks nothing.
+	unwind := func() {
+		if cursor > base {
+			_ = env.IOMMU.Unmap(env.Dev, base, int(cursor-base))
+		}
+		if hm.headPage != 0 {
+			s.freeShadowPage(p, hm.headPage)
+		}
+		if hm.tailPage != 0 {
+			s.freeShadowPage(p, hm.tailPage)
+		}
+		_ = s.extAlloc.Free(p.Core(), base, pages)
+	}
 	// Head: a shadow page covering the sub-page prefix, at the same
 	// in-page offset so IOVA arithmetic is seamless.
 	if headLen > 0 {
 		pg, err := s.allocShadowPage(p, dom)
 		if err != nil {
+			unwind()
 			return 0, err
 		}
 		hm.headPage = pg
 		if err := env.IOMMU.Map(env.Dev, cursor, pg, mem.PageSize, perm); err != nil {
+			unwind()
 			return 0, err
 		}
+		cursor += mem.PageSize
 		if dir != dmaapi.FromDevice {
 			if err := s.copyBytes(p, buf.Addr, pg+mem.Phys(offset), headLen); err != nil {
+				unwind()
 				return 0, err
 			}
 		}
-		cursor += mem.PageSize
 	}
 	// Middle: zero-copy map of the whole OS pages.
 	middlePages := pages
@@ -78,6 +97,7 @@ func (s *ShadowMapper) mapHybrid(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iomm
 		}
 		p.Charge(cycles.TagPTMgmt, env.Costs.PTMap+env.Costs.PTPerPage*uint64(middlePages-1))
 		if err := env.IOMMU.Map(env.Dev, cursor, start, middlePages*mem.PageSize, perm); err != nil {
+			unwind()
 			return 0, err
 		}
 		cursor += iommu.IOVA(middlePages * mem.PageSize)
@@ -86,14 +106,18 @@ func (s *ShadowMapper) mapHybrid(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iomm
 	if tailLen > 0 {
 		pg, err := s.allocShadowPage(p, dom)
 		if err != nil {
+			unwind()
 			return 0, err
 		}
 		hm.tailPage = pg
 		if err := env.IOMMU.Map(env.Dev, cursor, pg, mem.PageSize, perm); err != nil {
+			unwind()
 			return 0, err
 		}
+		cursor += mem.PageSize
 		if dir != dmaapi.FromDevice {
 			if err := s.copyBytes(p, end-mem.Phys(tailLen), pg, tailLen); err != nil {
+				unwind()
 				return 0, err
 			}
 		}

@@ -108,6 +108,36 @@ type Mapper interface {
 
 	// Stats returns operation counters.
 	Stats() Stats
+
+	// Accounting returns a snapshot of the strategy's live resource
+	// state. After every mapping and coherent allocation is released and
+	// Quiesce has run, all fields must be zero — the invariant the
+	// dmafuzz resource oracle enforces (leaked mappings, IOVAs, or
+	// deferred entries show up here).
+	Accounting() Accounting
+}
+
+// Accounting is a point-in-time snapshot of the resources a Mapper holds
+// on behalf of its callers. Permanent caches (shadow pools, bounce-slot
+// free lists, IOVA magazines) are deliberately excluded: they are owned
+// by the strategy, not by any live mapping.
+type Accounting struct {
+	// LiveMappings counts streaming mappings not yet unmapped (for
+	// identity designs: physical pages with a non-zero mapping refcount).
+	LiveMappings int
+	// LiveCoherent counts coherent allocations not yet freed.
+	LiveCoherent int
+	// IOVAPagesHeld counts IOVA pages held from dynamic allocators on
+	// behalf of live mappings (zero for strategies without an allocator).
+	IOVAPagesHeld uint64
+	// DeferredPending counts unmaps queued but not yet flushed.
+	DeferredPending int
+}
+
+// Zero reports whether no resources are held.
+func (a Accounting) Zero() bool {
+	return a.LiveMappings == 0 && a.LiveCoherent == 0 &&
+		a.IOVAPagesHeld == 0 && a.DeferredPending == 0
 }
 
 // Stats counts DMA API activity.

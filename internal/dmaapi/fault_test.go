@@ -1,0 +1,146 @@
+package dmaapi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Fault-injection error paths: with page allocations failing mid-flight,
+// every mapper must unwind partial state completely — the Accounting()
+// counters land back exactly where they started.
+
+// eachMapper runs fn once per IOMMU-backed mapper (noiommu is excluded:
+// it has no error paths worth injecting into).
+func eachMapper(t *testing.T, fn func(t *testing.T, env *Env, m Mapper)) {
+	makers := []struct {
+		name string
+		mk   func(*Env) Mapper
+	}{
+		{"strict", func(e *Env) Mapper { return NewLinux(e, false) }},
+		{"defer", func(e *Env) Mapper { return NewLinux(e, true) }},
+		{"identity+", func(e *Env) Mapper { return NewIdentity(e, false) }},
+		{"identity-", func(e *Env) Mapper { return NewIdentity(e, true) }},
+		{"swiotlb", func(e *Env) Mapper { return NewSWIOTLB(e) }},
+		{"selfinval", func(e *Env) Mapper { return NewSelfInval(e, 0) }},
+	}
+	for _, mk := range makers {
+		t.Run(mk.name, func(t *testing.T) {
+			env := newEnv(1)
+			fn(t, env, mk.mk(env))
+		})
+	}
+}
+
+func TestCoherentAllocFailureRestoresAccounting(t *testing.T) {
+	eachMapper(t, func(t *testing.T, env *Env, m Mapper) {
+		inProc(t, env, func(p *sim.Proc) {
+			before := m.Accounting()
+			env.Mem.AllocFail = func(domain, pages int) bool { return true }
+			_, _, err := m.AllocCoherent(p, mem.PageSize)
+			env.Mem.AllocFail = nil
+			if err == nil {
+				t.Fatal("coherent alloc should fail under injected allocation failure")
+			}
+			if !errors.Is(err, mem.ErrInjectedAllocFail) {
+				t.Fatalf("error does not unwrap to the injected failure: %v", err)
+			}
+			if after := m.Accounting(); after != before {
+				t.Fatalf("accounting changed across failed alloc: %+v -> %+v", before, after)
+			}
+			// The mapper must still work afterwards.
+			addr, buf, err := m.AllocCoherent(p, mem.PageSize)
+			if err != nil {
+				t.Fatalf("alloc after failure: %v", err)
+			}
+			if err := m.FreeCoherent(p, addr, buf); err != nil {
+				t.Fatalf("free after failure: %v", err)
+			}
+			if !m.Accounting().Zero() {
+				t.Fatalf("accounting not zero after free: %+v", m.Accounting())
+			}
+		})
+	})
+}
+
+func TestSGMidListFailureUnwindsAccounting(t *testing.T) {
+	eachMapper(t, func(t *testing.T, env *Env, m Mapper) {
+		good1 := allocBuf(t, env, 1200)
+		bad := mem.Buf{Addr: good1.Addr, Size: 0} // invalid: rejected by every mapper
+		good2 := allocBuf(t, env, 800)
+		inProc(t, env, func(p *sim.Proc) {
+			if _, err := m.MapSG(p, []mem.Buf{good1, bad, good2}, ToDevice); err == nil {
+				t.Fatal("SG map should fail on the invalid middle element")
+			}
+			// Deferred mappers legitimately park the unwound element's
+			// IOVA in the flush queue; after a quiesce nothing may remain.
+			m.Quiesce(p)
+			if after := m.Accounting(); !after.Zero() {
+				t.Fatalf("mid-list failure leaked state: %+v", after)
+			}
+			// The same list without the poison element maps and unmaps.
+			addrs, err := m.MapSG(p, []mem.Buf{good1, good2}, ToDevice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.UnmapSG(p, addrs, []int{good1.Size, good2.Size}, ToDevice); err != nil {
+				t.Fatal(err)
+			}
+			m.Quiesce(p)
+			if !m.Accounting().Zero() {
+				t.Fatalf("accounting not zero after SG round trip: %+v", m.Accounting())
+			}
+		})
+	})
+}
+
+func TestDoubleUnmapFailsAndPreservesAccounting(t *testing.T) {
+	eachMapper(t, func(t *testing.T, env *Env, m Mapper) {
+		buf := allocBuf(t, env, 1500)
+		inProc(t, env, func(p *sim.Proc) {
+			addr, err := m.Map(p, buf, ToDevice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Unmap(p, addr, buf.Size, ToDevice); err != nil {
+				t.Fatal(err)
+			}
+			m.Quiesce(p)
+			base := m.Accounting()
+			if !base.Zero() {
+				t.Fatalf("accounting not zero after unmap: %+v", base)
+			}
+			if err := m.Unmap(p, addr, buf.Size, ToDevice); err == nil {
+				t.Fatal("double unmap succeeded")
+			}
+			if got := m.Accounting(); got != base {
+				t.Fatalf("double unmap perturbed accounting: %+v -> %+v", base, got)
+			}
+		})
+	})
+}
+
+func TestUnmapOfNeverMappedIOVAFails(t *testing.T) {
+	eachMapper(t, func(t *testing.T, env *Env, m Mapper) {
+		inProc(t, env, func(p *sim.Proc) {
+			before := m.Accounting()
+			// An address nothing ever handed out: high in the IOVA space,
+			// not a physical address of any allocation.
+			bogus := iommu.IOVA(0x7ead_beef_d000)
+			err := m.Unmap(p, bogus, mem.PageSize, ToDevice)
+			if err == nil {
+				t.Fatal("unmap of never-mapped IOVA succeeded")
+			}
+			if strings.Contains(err.Error(), "panic") {
+				t.Fatalf("ungraceful failure: %v", err)
+			}
+			if got := m.Accounting(); got != before {
+				t.Fatalf("failed unmap perturbed accounting: %+v -> %+v", before, got)
+			}
+		})
+	})
+}

@@ -46,7 +46,8 @@ type IdentityMapper struct {
 	// larger vulnerability window.
 	flushes []*flushQueue
 
-	stats Stats
+	coherent int // outstanding coherent allocations
+	stats    Stats
 }
 
 type identityShard struct {
@@ -208,6 +209,7 @@ func (m *IdentityMapper) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.B
 	}
 	m.stats.CoherentAllocs++
 	m.stats.Maps-- // counted as coherent, not streaming
+	m.coherent++
 	return addr, buf, nil
 }
 
@@ -222,6 +224,7 @@ func (m *IdentityMapper) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf)
 		return err
 	}
 	m.stats.Unmaps--
+	m.coherent--
 	return freeCoherentPages(m.env, buf)
 }
 
@@ -234,6 +237,21 @@ func (m *IdentityMapper) Quiesce(p *sim.Proc) {
 
 // Stats implements Mapper.
 func (m *IdentityMapper) Stats() Stats { return m.stats }
+
+// Accounting implements Mapper. Identity designs have no IOVA allocator;
+// live state is the set of physical pages with a non-zero mapping refcount
+// (coherent pages included, so LiveMappings already covers them — but the
+// coherent count is reported separately for the oracle's benefit).
+func (m *IdentityMapper) Accounting() Accounting {
+	a := Accounting{LiveCoherent: m.coherent}
+	for _, s := range m.shards {
+		a.LiveMappings += len(s.refs)
+	}
+	for _, f := range m.flushes {
+		a.DeferredPending += len(f.entries)
+	}
+	return a
+}
 
 // SyncForCPU implements Mapper (cache maintenance only; zero copy).
 func (m *IdentityMapper) SyncForCPU(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) error {

@@ -18,10 +18,18 @@ type LinuxMapper struct {
 	env      *Env
 	deferred bool
 
+	// SkipInval is a test-only bug switch: when set, strict unmaps skip
+	// the synchronous IOTLB invalidation — deliberately reintroducing the
+	// deferred-protection vulnerability window into the strict design.
+	// The dmafuzz security oracle must catch this (see doc/FUZZING.md);
+	// production code never sets it.
+	SkipInval bool
+
 	iovaLock *sim.Spinlock
 	alloc    *iova.TreeAllocator
 	flush    *flushQueue
 	dirs     map[iommu.IOVA]Dir // live mappings, for contract checking
+	coherent int                // outstanding coherent allocations
 
 	stats Stats
 }
@@ -103,11 +111,13 @@ func (m *LinuxMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) err
 	}
 	// Strict: synchronous page-selective invalidation under the queue
 	// lock, busy-waiting for hardware completion (intel-iommu behaviour).
-	q := m.env.IOMMU.Queue
-	q.Lock.Lock(p)
-	done := q.SubmitPages(p, m.env.Dev, base.Page(), uint64(pages))
-	q.WaitFor(p, done)
-	q.Lock.Unlock(p)
+	if !m.SkipInval {
+		q := m.env.IOMMU.Queue
+		q.Lock.Lock(p)
+		done := q.SubmitPages(p, m.env.Dev, base.Page(), uint64(pages))
+		q.WaitFor(p, done)
+		q.Lock.Unlock(p)
+	}
 	m.iovaLock.Lock(p)
 	p.Charge(cycles.TagIOVA, m.env.Costs.IOVAFree)
 	err := m.alloc.Free(p.Core(), base, pages)
@@ -145,6 +155,7 @@ func (m *LinuxMapper) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf,
 		return 0, mem.Buf{}, err
 	}
 	m.stats.CoherentAllocs++
+	m.coherent++
 	return base, buf, nil
 }
 
@@ -167,6 +178,7 @@ func (m *LinuxMapper) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) er
 	if err != nil {
 		return err
 	}
+	m.coherent--
 	return freeCoherentPages(m.env, buf)
 }
 
@@ -179,6 +191,19 @@ func (m *LinuxMapper) Quiesce(p *sim.Proc) {
 
 // Stats implements Mapper.
 func (m *LinuxMapper) Stats() Stats { return m.stats }
+
+// Accounting implements Mapper.
+func (m *LinuxMapper) Accounting() Accounting {
+	a := Accounting{
+		LiveMappings:  len(m.dirs),
+		LiveCoherent:  m.coherent,
+		IOVAPagesHeld: m.alloc.Outstanding(),
+	}
+	if m.flush != nil {
+		a.DeferredPending = len(m.flush.entries)
+	}
+	return a
+}
 
 // SyncForCPU implements Mapper (cache maintenance only; zero copy).
 func (m *LinuxMapper) SyncForCPU(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) error {

@@ -12,8 +12,9 @@ import (
 // and the device addresses physical memory directly. It is the performance
 // upper bound and is "defenseless against DMA attacks" (paper §6).
 type NoIOMMU struct {
-	env   *Env
-	stats Stats
+	env      *Env
+	coherent int // outstanding coherent allocations
+	stats    Stats
 }
 
 // NewNoIOMMU creates the passthrough mapper and puts the device in
@@ -59,11 +60,13 @@ func (n *NoIOMMU) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf, err
 		return 0, mem.Buf{}, err
 	}
 	n.stats.CoherentAllocs++
+	n.coherent++
 	return iommu.IOVA(buf.Addr), buf, nil
 }
 
 // FreeCoherent implements Mapper.
 func (n *NoIOMMU) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) error {
+	n.coherent--
 	return freeCoherentPages(n.env, buf)
 }
 
@@ -72,6 +75,12 @@ func (n *NoIOMMU) Quiesce(p *sim.Proc) {}
 
 // Stats implements Mapper.
 func (n *NoIOMMU) Stats() Stats { return n.stats }
+
+// Accounting implements Mapper. Passthrough holds no per-mapping state;
+// only coherent allocations are tracked.
+func (n *NoIOMMU) Accounting() Accounting {
+	return Accounting{LiveCoherent: n.coherent}
+}
 
 // SyncForCPU implements Mapper (cache maintenance only; zero copy).
 func (n *NoIOMMU) SyncForCPU(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) error {

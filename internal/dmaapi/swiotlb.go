@@ -25,9 +25,10 @@ type SWIOTLB struct {
 	// size classes the paper's pool uses. No IOMMU mapping exists; the
 	// "IOVA" handed to the device is the bounce buffer's physical
 	// address, and the device runs in passthrough.
-	free  [][2][]mem.Buf
-	live  map[iommu.IOVA]bounce
-	stats Stats
+	free     [][2][]mem.Buf
+	live     map[iommu.IOVA]bounce
+	coherent int // outstanding coherent allocations
+	stats    Stats
 }
 
 type bounce struct {
@@ -146,11 +147,13 @@ func (s *SWIOTLB) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf, err
 		return 0, mem.Buf{}, err
 	}
 	s.stats.CoherentAllocs++
+	s.coherent++
 	return iommu.IOVA(buf.Addr), buf, nil
 }
 
 // FreeCoherent implements Mapper.
 func (s *SWIOTLB) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) error {
+	s.coherent--
 	return freeCoherentPages(s.env, buf)
 }
 
@@ -159,6 +162,12 @@ func (s *SWIOTLB) Quiesce(p *sim.Proc) {}
 
 // Stats implements Mapper.
 func (s *SWIOTLB) Stats() Stats { return s.stats }
+
+// Accounting implements Mapper. Bounce free lists are a permanent cache
+// and deliberately excluded; live bounce slots count as mappings.
+func (s *SWIOTLB) Accounting() Accounting {
+	return Accounting{LiveMappings: len(s.live), LiveCoherent: s.coherent}
+}
 
 // SyncForCPU implements Mapper: copy the device's writes out of the bounce
 // slot while the mapping stays live.

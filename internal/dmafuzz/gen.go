@@ -1,0 +1,190 @@
+package dmafuzz
+
+import "math/rand"
+
+// NumSlots is the number of streaming-mapping slots a trace addresses.
+const NumSlots = 16
+
+// NumCoherentSlots is the number of coherent-allocation slots.
+const NumCoherentSlots = 4
+
+// genSlot mirrors just enough executor state for the generator to emit
+// mostly-meaningful ops (the executor's skip semantics tolerate the rest).
+type genSlot struct {
+	live     bool
+	dir      uint8 // dmaapi.Dir value
+	size     int
+	sib      bool
+	shared   bool
+	wasLive  bool // has a former mapping to probe
+	devWrote bool
+}
+
+// Generate produces a deterministic n-op trace from the seed. The same
+// (seed, n) always yields the same trace, independent of backend, host,
+// or Go version (math/rand's seeded sequence is stable by contract).
+func Generate(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{Seed: seed, Ops: make([]Op, 0, n)}
+	var slots [NumSlots]genSlot
+	var coherent [NumCoherentSlots]bool
+
+	liveSlots := func(pred func(*genSlot) bool) []int {
+		var out []int
+		for i := range slots {
+			if slots[i].live && (pred == nil || pred(&slots[i])) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	freeSlot := func() int {
+		for i := range slots {
+			if !slots[i].live {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// Buffer sizes: mostly sub-page (kmalloc co-location, partial-page
+	// DMA), some multi-page, some large enough for the huge-buffer hybrid
+	// path of the copy-hybrid backend (pool max class 16 KiB).
+	pickSize := func() int {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			return 1 + rng.Intn(2048)
+		case 5, 6:
+			return 1 + rng.Intn(4096)
+		case 7, 8:
+			return 4097 + rng.Intn(12288)
+		default:
+			return 16385 + rng.Intn(65536-16385)
+		}
+	}
+
+	emit := func(op Op) { t.Ops = append(t.Ops, op) }
+
+	for len(t.Ops) < n {
+		roll := rng.Intn(100)
+		switch {
+		case roll < 24: // map
+			s := freeSlot()
+			if s < 0 {
+				break
+			}
+			size := pickSize()
+			op := Op{
+				Kind: OpMap, Slot: s, Size: size,
+				Dir: uint8(1 + rng.Intn(3)), Dom: rng.Intn(2),
+				Sib: size <= 2048 && rng.Intn(2) == 0,
+			}
+			emit(op)
+			slots[s] = genSlot{live: true, dir: op.Dir, size: size, sib: op.Sib}
+		case roll < 28: // overlapping map of a live ToDevice buffer
+			srcs := liveSlots(func(g *genSlot) bool { return g.dir == 1 && !g.shared })
+			s := freeSlot()
+			if len(srcs) == 0 || s < 0 {
+				break
+			}
+			src := srcs[rng.Intn(len(srcs))]
+			emit(Op{Kind: OpMapOverlap, Slot: s, Src: src})
+			slots[s] = genSlot{live: true, dir: 1, size: slots[src].size, shared: true}
+			slots[src].shared = true
+		case roll < 30: // zero-length map (must fail everywhere)
+			emit(Op{Kind: OpMapZero, Slot: rng.Intn(NumSlots)})
+		case roll < 46: // unmap, often immediately followed by a stale probe
+			ls := liveSlots(nil)
+			if len(ls) == 0 {
+				break
+			}
+			s := ls[rng.Intn(len(ls))]
+			emit(Op{Kind: OpUnmap, Slot: s})
+			probeWorthy := slots[s].devWrote
+			slots[s] = genSlot{wasLive: true}
+			if probeWorthy && rng.Intn(10) < 6 {
+				emit(Op{Kind: OpProbeStale, Slot: s})
+			}
+		case roll < 58: // benign device write
+			ls := liveSlots(func(g *genSlot) bool { return g.dir >= 2 })
+			if len(ls) == 0 {
+				break
+			}
+			s := ls[rng.Intn(len(ls))]
+			off := rng.Intn(slots[s].size)
+			emit(Op{Kind: OpDevWrite, Slot: s, Off: off, Len: 1 + rng.Intn(slots[s].size-off)})
+			slots[s].devWrote = true
+		case roll < 68: // benign device read
+			ls := liveSlots(func(g *genSlot) bool { return g.dir == 1 || g.dir == 3 })
+			if len(ls) == 0 {
+				break
+			}
+			s := ls[rng.Intn(len(ls))]
+			off := rng.Intn(slots[s].size)
+			emit(Op{Kind: OpDevRead, Slot: s, Off: off, Len: 1 + rng.Intn(slots[s].size-off)})
+		case roll < 73: // sync for CPU
+			ls := liveSlots(func(g *genSlot) bool { return g.dir >= 2 })
+			if len(ls) == 0 {
+				break
+			}
+			emit(Op{Kind: OpSyncCPU, Slot: ls[rng.Intn(len(ls))]})
+		case roll < 78: // CPU write + sync for device
+			ls := liveSlots(func(g *genSlot) bool { return (g.dir == 1 || g.dir == 3) && !g.shared })
+			if len(ls) == 0 {
+				break
+			}
+			s := ls[rng.Intn(len(ls))]
+			off := rng.Intn(slots[s].size)
+			emit(Op{Kind: OpCPUWriteSync, Slot: s, Off: off, Len: 1 + rng.Intn(slots[s].size-off)})
+		case roll < 84: // stale-window probe of a formerly mapped slot
+			var cands []int
+			for i := range slots {
+				if !slots[i].live && slots[i].wasLive {
+					cands = append(cands, i)
+				}
+			}
+			if len(cands) == 0 {
+				break
+			}
+			emit(Op{Kind: OpProbeStale, Slot: cands[rng.Intn(len(cands))]})
+		case roll < 89: // sub-page sibling probe
+			ls := liveSlots(func(g *genSlot) bool { return g.sib && (g.dir == 1 || g.dir == 3) })
+			if len(ls) == 0 {
+				break
+			}
+			emit(Op{Kind: OpProbeSubPage, Slot: ls[rng.Intn(len(ls))]})
+		case roll < 92: // arbitrary never-mapped probe
+			emit(Op{Kind: OpProbeArbitrary})
+		case roll < 95: // coherent alloc
+			c := -1
+			for i := range coherent {
+				if !coherent[i] {
+					c = i
+					break
+				}
+			}
+			if c < 0 {
+				break
+			}
+			emit(Op{Kind: OpCoherentAlloc, Slot: c, Size: 1 + rng.Intn(8192)})
+			coherent[c] = true
+		case roll < 98: // coherent free
+			c := -1
+			for i := range coherent {
+				if coherent[i] {
+					c = i
+					break
+				}
+			}
+			if c < 0 {
+				break
+			}
+			emit(Op{Kind: OpCoherentFree, Slot: c})
+			coherent[c] = false
+		default:
+			emit(Op{Kind: OpQuiesce})
+		}
+	}
+	t.Ops = t.Ops[:n]
+	return t
+}

@@ -1,0 +1,84 @@
+package dmafuzz
+
+// Minimize shrinks a failing trace to a (locally) minimal op sequence
+// that still fails the oracles, using ddmin over the op list followed by
+// greedy single-op elimination. Skip semantics make every subsequence a
+// valid trace, so no dependency repair is needed. Returns the minimized
+// trace and the number of oracle runs spent.
+func Minimize(tr *Trace, backends []string, plan FaultPlan) (*Trace, int, error) {
+	runs := 0
+	fails := func(ops []Op) (bool, error) {
+		runs++
+		rep, err := RunTrace(&Trace{Seed: tr.Seed, Ops: ops}, backends, plan)
+		if err != nil {
+			return false, err
+		}
+		return rep.Failed(), nil
+	}
+
+	ops := append([]Op{}, tr.Ops...)
+	if ok, err := fails(ops); err != nil {
+		return nil, runs, err
+	} else if !ok {
+		// Not failing: nothing to minimize.
+		return &Trace{Seed: tr.Seed, Ops: ops}, runs, nil
+	}
+
+	// ddmin: try removing progressively finer-grained chunks.
+	granularity := 2
+	for len(ops) > 1 {
+		chunk := (len(ops) + granularity - 1) / granularity
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			candidate := append(append([]Op{}, ops[:start]...), ops[end:]...)
+			if len(candidate) == 0 {
+				continue
+			}
+			ok, err := fails(candidate)
+			if err != nil {
+				return nil, runs, err
+			}
+			if ok {
+				ops = candidate
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			granularity = 2
+			continue
+		}
+		if granularity >= len(ops) {
+			break
+		}
+		granularity *= 2
+		if granularity > len(ops) {
+			granularity = len(ops)
+		}
+	}
+
+	// Greedy single-op elimination until a fixed point.
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(ops); i++ {
+			candidate := append(append([]Op{}, ops[:i]...), ops[i+1:]...)
+			if len(candidate) == 0 {
+				continue
+			}
+			ok, err := fails(candidate)
+			if err != nil {
+				return nil, runs, err
+			}
+			if ok {
+				ops = candidate
+				again = true
+				i--
+			}
+		}
+	}
+	return &Trace{Seed: tr.Seed, Ops: ops}, runs, nil
+}

@@ -1,0 +1,130 @@
+package dmafuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/dmaapi"
+)
+
+// OpResult records the OS-visible outcome of one trace op under one
+// backend. Benign-op fields (Err, Fault, Done, Sum) feed the differential
+// oracle; probe fields (Window, Leak) feed the security oracle.
+type OpResult struct {
+	Index   int    `json:"i"`
+	Kind    string `json:"k"`
+	Skipped bool   `json:"skip,omitempty"`
+	Err     bool   `json:"err,omitempty"`
+	Fault   bool   `json:"fault,omitempty"`
+	Done    int    `json:"done,omitempty"`
+	Sum     string `json:"sum,omitempty"`
+	Window  bool   `json:"win,omitempty"`
+	Leak    bool   `json:"leak,omitempty"`
+}
+
+// probeKind reports whether the op's outcome is expected to differ across
+// backends (and is therefore judged by the security oracle, not the
+// differential one).
+func probeKind(k OpKind) bool {
+	return k == OpProbeStale || k == OpProbeSubPage || k == OpProbeArbitrary
+}
+
+// comparable renders the fields the differential oracle compares across
+// backends for this op.
+func (r OpResult) comparable(k OpKind) string {
+	if probeKind(k) {
+		return fmt.Sprintf("skip=%v", r.Skipped)
+	}
+	return fmt.Sprintf("skip=%v err=%v fault=%v done=%d sum=%s",
+		r.Skipped, r.Err, r.Fault, r.Done, r.Sum)
+}
+
+// SecuritySummary aggregates probe outcomes across both passes of a run.
+// "Eligible" counters exist so positive-observation requirements are only
+// enforced when the trace actually presented the opportunity.
+type SecuritySummary struct {
+	StaleProbes     int `json:"staleProbes"`
+	StaleEligible   int `json:"staleEligible"`
+	StaleObserved   int `json:"staleObserved"`
+	SubPageEligible int `json:"subpageEligible"`
+	SubPageObserved int `json:"subpageObserved"`
+	ArbitraryProbes int `json:"arbitraryProbes"`
+	ArbitraryLeaks  int `json:"arbitraryLeaks"`
+	ProberReads     int `json:"proberReads"`
+	ProberLeaks     int `json:"proberLeaks"`
+	FinalProbes     int `json:"finalProbes"`
+	FinalObserved   int `json:"finalObserved"`
+}
+
+// ResourceSummary snapshots resource state after each pass's teardown.
+// The trace body runs twice on the same machine: pass 1 warms permanent
+// caches, so pass 2 must end byte-identical — anything monotonic is a
+// leak.
+type ResourceSummary struct {
+	AccountingZero1 bool             `json:"accountingZero1"`
+	AccountingZero2 bool             `json:"accountingZero2"`
+	Accounting2     dmaapi.Accounting `json:"accounting2"`
+	InUse1          []uint64         `json:"inUse1"`
+	InUse2          []uint64         `json:"inUse2"`
+}
+
+// BackendResult is one backend's complete run outcome.
+type BackendResult struct {
+	Backend    string          `json:"backend"`
+	Executed   int             `json:"executed"`
+	SkippedOps int             `json:"skipped"`
+	Errors     int             `json:"errors"`
+	Security   SecuritySummary `json:"security"`
+	Resource   ResourceSummary `json:"resource"`
+	Violations []string        `json:"violations"`
+
+	// OpResults back the differential oracle; they are omitted from the
+	// JSON report (the trace file is the replay artifact).
+	OpResults []OpResult `json:"-"`
+}
+
+func (b *BackendResult) violatef(format string, args ...any) {
+	b.Violations = append(b.Violations, fmt.Sprintf(format, args...))
+}
+
+// Report is the machine-readable result of running one trace through a
+// set of backends. Marshaling is byte-deterministic: no timestamps, no
+// map iteration, fixed field order.
+type Report struct {
+	Seed     int64            `json:"seed"`
+	Ops      int              `json:"ops"`
+	Plan     FaultPlan        `json:"plan"`
+	Backends []*BackendResult `json:"backends"`
+	Diffs    []string         `json:"diffs"`
+	Pass     bool             `json:"pass"`
+}
+
+// Failed reports whether any oracle flagged this run.
+func (r *Report) Failed() bool { return !r.Pass }
+
+// Failures flattens every violation and differential mismatch.
+func (r *Report) Failures() []string {
+	var out []string
+	for _, b := range r.Backends {
+		for _, v := range b.Violations {
+			out = append(out, b.Backend+": "+v)
+		}
+	}
+	out = append(out, r.Diffs...)
+	return out
+}
+
+// JSON renders the deterministic report.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// checksum is the FNV-1a digest used for OS-visible content records.
+func checksum(parts ...[]byte) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

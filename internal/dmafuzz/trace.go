@@ -1,0 +1,185 @@
+// Package dmafuzz is a differential DMA fuzzing harness: it generates
+// seeded, deterministic random DMA workloads (map/unmap, device and CPU
+// accesses, partial-page and overlapping and zero-length mappings,
+// malicious device probes) and runs the same trace through every DMA-API
+// protection backend, checking three oracle families:
+//
+//   - differential: benign operations must produce identical OS-visible
+//     outcomes under every backend (the transparency property, paper §5.1);
+//   - security-invariant: device probes must never exceed granted
+//     authority except inside paper-predicted windows (deferred
+//     invalidation, sub-page slack), and those windows must be positively
+//     observed where the paper predicts them — an oracle that cannot pass
+//     vacuously;
+//   - resource: mapper accounting, IOVA allocators, and memory frames
+//     must return to baseline after teardown (run twice, compare the
+//     steady states).
+//
+// Traces are replayable (JSON), minimizable (ddmin), and feed the native
+// go-fuzz entry points in internal/iommu and internal/mem.
+package dmafuzz
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// OpKind enumerates trace operations. Ops reference fixed slots; an op
+// whose slot is in the wrong state is recorded as a deterministic skip,
+// so every subsequence of a trace is itself a valid trace — the property
+// the minimizer relies on.
+type OpKind uint8
+
+const (
+	// OpMap maps a fresh kmalloc buffer (Size, Dir, Dom, Sib) into Slot.
+	OpMap OpKind = iota + 1
+	// OpMapOverlap maps the SAME buffer as live ToDevice slot Src into
+	// Slot (overlapping mapping of one buffer).
+	OpMapOverlap
+	// OpMapZero attempts a zero-length mapping, which every backend must
+	// reject identically.
+	OpMapZero
+	// OpUnmap unmaps Slot.
+	OpUnmap
+	// OpDevWrite is a benign device write of Len bytes at Off into Slot
+	// (FromDevice/Bidirectional only).
+	OpDevWrite
+	// OpDevRead is a benign device read of Len bytes at Off from Slot
+	// (ToDevice/Bidirectional only).
+	OpDevRead
+	// OpSyncCPU is dma_sync_single_for_cpu on Slot.
+	OpSyncCPU
+	// OpCPUWriteSync writes Len CPU bytes at Off then syncs for device
+	// (ToDevice/Bidirectional, unshared buffers only).
+	OpCPUWriteSync
+	// OpProbeStale is a malicious device write through Slot's most
+	// recently unmapped IOVA (the deferred-invalidation window probe).
+	OpProbeStale
+	// OpProbeSubPage is a malicious device read of a co-located kmalloc
+	// sibling through Slot's live mapping (the sub-page slack probe).
+	OpProbeSubPage
+	// OpProbeArbitrary is a malicious device read of a never-mapped
+	// secret page.
+	OpProbeArbitrary
+	// OpCoherentAlloc allocates a coherent buffer of Size in coherent
+	// slot Slot and verifies device/CPU sharing.
+	OpCoherentAlloc
+	// OpCoherentFree frees coherent slot Slot.
+	OpCoherentFree
+	// OpQuiesce drains deferred invalidations.
+	OpQuiesce
+)
+
+var opNames = map[OpKind]string{
+	OpMap: "map", OpMapOverlap: "map-overlap", OpMapZero: "map-zero",
+	OpUnmap: "unmap", OpDevWrite: "dev-write", OpDevRead: "dev-read",
+	OpSyncCPU: "sync-cpu", OpCPUWriteSync: "cpu-write-sync",
+	OpProbeStale: "probe-stale", OpProbeSubPage: "probe-subpage",
+	OpProbeArbitrary: "probe-arbitrary", OpCoherentAlloc: "coherent-alloc",
+	OpCoherentFree: "coherent-free", OpQuiesce: "quiesce",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one trace operation. Field use depends on Kind; unused fields are
+// zero so the JSON form stays compact.
+type Op struct {
+	Kind OpKind `json:"k"`
+	Slot int    `json:"s,omitempty"`
+	Src  int    `json:"src,omitempty"`
+	Size int    `json:"n,omitempty"`
+	Off  int    `json:"off,omitempty"`
+	Len  int    `json:"len,omitempty"`
+	Dir  uint8  `json:"d,omitempty"`
+	Dom  int    `json:"dom,omitempty"`
+	Sib  bool   `json:"sib,omitempty"`
+}
+
+// Trace is a replayable workload: the seed that generated it (recorded for
+// provenance; replay does not re-derive ops from it) plus the op list.
+type Trace struct {
+	Seed int64 `json:"seed"`
+	Ops  []Op  `json:"ops"`
+}
+
+// MarshalJSON-able repro files use the plain struct; helpers below give a
+// compact binary form for fuzz corpora.
+
+const traceMagic = "DMFZ1"
+
+// opWire is the fixed binary size of one encoded op.
+const opWire = 1 + 1 + 1 + 1 + 1 + 1 + 4 + 4 + 4
+
+// Encode packs the trace into the compact binary corpus format used to
+// seed the native go-fuzz targets.
+func (t *Trace) Encode() []byte {
+	b := make([]byte, 0, len(traceMagic)+8+len(t.Ops)*opWire)
+	b = append(b, traceMagic...)
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], uint64(t.Seed))
+	b = append(b, s[:]...)
+	for _, op := range t.Ops {
+		var w [opWire]byte
+		w[0] = byte(op.Kind)
+		w[1] = byte(op.Slot)
+		w[2] = byte(op.Src)
+		w[3] = op.Dir
+		w[4] = byte(op.Dom)
+		if op.Sib {
+			w[5] = 1
+		}
+		binary.LittleEndian.PutUint32(w[6:], uint32(op.Size))
+		binary.LittleEndian.PutUint32(w[10:], uint32(op.Off))
+		binary.LittleEndian.PutUint32(w[14:], uint32(op.Len))
+		b = append(b, w[:]...)
+	}
+	return b
+}
+
+// DecodeTrace parses the binary corpus format. Trailing partial ops are
+// ignored (fuzzers mutate freely); an unknown magic is an error.
+func DecodeTrace(b []byte) (*Trace, error) {
+	if len(b) < len(traceMagic)+8 || string(b[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("dmafuzz: bad trace header")
+	}
+	b = b[len(traceMagic):]
+	t := &Trace{Seed: int64(binary.LittleEndian.Uint64(b[:8]))}
+	b = b[8:]
+	for len(b) >= opWire {
+		w := b[:opWire]
+		b = b[opWire:]
+		t.Ops = append(t.Ops, Op{
+			Kind: OpKind(w[0]),
+			Slot: int(w[1]),
+			Src:  int(w[2]),
+			Dir:  w[3],
+			Dom:  int(w[4]),
+			Sib:  w[5] != 0,
+			Size: int(int32(binary.LittleEndian.Uint32(w[6:]))),
+			Off:  int(int32(binary.LittleEndian.Uint32(w[10:]))),
+			Len:  int(int32(binary.LittleEndian.Uint32(w[14:]))),
+		})
+	}
+	return t, nil
+}
+
+// MarshalRepro renders the trace as an indented, byte-deterministic JSON
+// repro file.
+func (t *Trace) MarshalRepro() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// UnmarshalRepro parses a repro file produced by MarshalRepro.
+func UnmarshalRepro(b []byte) (*Trace, error) {
+	t := &Trace{}
+	if err := json.Unmarshal(b, t); err != nil {
+		return nil, fmt.Errorf("dmafuzz: bad repro file: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,133 @@
+package iommu_test
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/dmafuzz"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// FuzzTranslate drives random map/unmap/translate/invalidate sequences
+// through the IOMMU and checks every outcome against a flat model page
+// table. Unmaps optionally skip IOTLB invalidation; a translate may then
+// also be answered by the recorded stale entry — the deferred-protection
+// window the paper builds on — but never by anything else.
+//
+// Each fuzzed page always maps to the same physical page, so a
+// successful translation has exactly one legal answer regardless of
+// whether it came from the page table or a stale IOTLB entry.
+func FuzzTranslate(f *testing.F) {
+	// Seeds: structured op streams from the dmafuzz generator's binary
+	// corpus format, plus a couple of hand-rolled byte patterns.
+	f.Add(dmafuzz.Generate(1, 64).Encode())
+	f.Add(dmafuzz.Generate(2, 256).Encode())
+	f.Add([]byte{0, 1, 2, 1, 1, 1, 2, 1, 0, 3, 2, 2, 1, 2, 3})
+	f.Add([]byte{0, 0, 255, 0, 0, 254, 2, 0, 128})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := sim.NewEngine()
+		m := mem.New(1)
+		u := iommu.New(eng, m, cycles.Default())
+		const dev = iommu.DeviceID(1)
+		const nPages = 32
+		base := iommu.IOVA(1) << 30
+
+		phys := make([]mem.Phys, nPages)
+		for i := range phys {
+			p, err := m.AllocPages(0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			phys[i] = p
+		}
+
+		type entry struct {
+			perm iommu.Perm
+		}
+		model := map[uint64]entry{} // iova page index -> live mapping
+		stale := map[uint64]entry{} // cleared without IOTLB invalidation
+
+		perms := []iommu.Perm{iommu.PermRead, iommu.PermWrite, iommu.PermRW}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, pg, arg := data[i]%4, uint64(data[i+1])%nPages, data[i+2]
+			iova := base + iommu.IOVA(pg<<mem.PageShift)
+			perm := perms[arg%3]
+			switch op {
+			case 0: // map
+				_, mapped := model[pg]
+				err := u.Map(dev, iova, phys[pg], mem.PageSize, perm)
+				if mapped && err == nil {
+					t.Fatalf("page %d: double map succeeded", pg)
+				}
+				if !mapped {
+					if err != nil {
+						t.Fatalf("page %d: map failed: %v", pg, err)
+					}
+					model[pg] = entry{perm: perm}
+				}
+			case 1: // unmap; arg bit 0 chooses strict vs deferred
+				_, mapped := model[pg]
+				err := u.Unmap(dev, iova, mem.PageSize)
+				if (err == nil) != mapped {
+					t.Fatalf("page %d: unmap err=%v, model mapped=%v", pg, err, mapped)
+				}
+				if err == nil {
+					if arg&1 == 0 {
+						u.TLB().InvalidateDevice(dev)
+						stale = map[uint64]entry{}
+					} else {
+						stale[pg] = model[pg]
+					}
+					delete(model, pg)
+				}
+			case 2: // translate at a random in-page offset
+				off := iommu.IOVA(arg) * 16 % mem.PageSize
+				want := perms[arg%3]
+				got, _, fault := u.Translate(dev, iova+off, want)
+				live, isLive := model[pg]
+				st, isStale := stale[pg]
+				if fault == nil {
+					okLive := isLive && live.perm&want == want
+					okStale := isStale && st.perm&want == want
+					if !okLive && !okStale {
+						t.Fatalf("page %d: translate %s succeeded with no live or stale grant", pg, want)
+					}
+					if wantPhys := phys[pg] + mem.Phys(off); got != wantPhys {
+						t.Fatalf("page %d: translate = %#x, want %#x", pg, uint64(got), uint64(wantPhys))
+					}
+				} else {
+					// A fault is only legal if the live table denies it
+					// (absent or insufficient rights) or a stale IOTLB
+					// entry with narrower rights could have answered.
+					liveDenies := !isLive || live.perm&want != want
+					staleDenies := isStale && st.perm&want != want
+					if !liveDenies && !staleDenies {
+						t.Fatalf("page %d: translate %s faulted against a live grant: %v", pg, want, fault)
+					}
+				}
+			case 3: // full invalidation: stale entries are gone for sure
+				u.TLB().InvalidateDevice(dev)
+				stale = map[uint64]entry{}
+			}
+		}
+
+		// Coherent finish: after a full invalidation the IOMMU must agree
+		// exactly with the model on every page.
+		u.TLB().InvalidateDevice(dev)
+		for pg := uint64(0); pg < nPages; pg++ {
+			iova := base + iommu.IOVA(pg<<mem.PageShift)
+			e, mapped := model[pg]
+			got, _, fault := u.Translate(dev, iova, iommu.PermRead)
+			wantOK := mapped && e.perm&iommu.PermRead != 0
+			if wantOK != (fault == nil) {
+				t.Fatalf("final page %d: fault=%v, model mapped=%v perm=%v", pg, fault, mapped, e.perm)
+			}
+			if fault == nil && got != phys[pg] {
+				t.Fatalf("final page %d: phys %#x want %#x", pg, uint64(got), uint64(phys[pg]))
+			}
+		}
+	})
+}

@@ -21,6 +21,13 @@ type InvQueue struct {
 	// completion wait — as Linux's intel-iommu driver does).
 	Lock *sim.Spinlock
 
+	// StallCycles, when non-zero, adds that many cycles of extra hardware
+	// latency to every submitted invalidation — a fault-injection hook
+	// modeling a stalled/backlogged invalidation queue (internal/dmafuzz).
+	// It widens the deferred vulnerability window and lengthens strict
+	// waits, but never changes completion ordering.
+	StallCycles uint64
+
 	hwFreeAt uint64
 
 	// Stats
@@ -49,7 +56,7 @@ func (q *InvQueue) submit(p *sim.Proc, effect func()) uint64 {
 	if p.Now() > start {
 		start = p.Now()
 	}
-	done := start + q.costs.IOTLBInvalidateHW
+	done := start + q.costs.IOTLBInvalidateHW + q.StallCycles
 	q.hwFreeAt = done
 	q.Submitted++
 	q.u.Trace.Emit(p.Now(), trace.CatInval, "submitted, hw completes at %d", done)
@@ -91,7 +98,7 @@ func (q *InvQueue) SubmitGlobalAt(now uint64) uint64 {
 	if now > start {
 		start = now
 	}
-	done := start + q.costs.IOTLBInvalidateHW
+	done := start + q.costs.IOTLBInvalidateHW + q.StallCycles
 	q.hwFreeAt = done
 	q.Submitted++
 	q.eng.Schedule(done, func(uint64) {

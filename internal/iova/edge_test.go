@@ -1,0 +1,190 @@
+package iova
+
+import (
+	"testing"
+
+	"repro/internal/iommu"
+	"repro/internal/mem"
+)
+
+// Table-driven edge cases for the IOVA allocators: address-space
+// wraparound at the top of the 48-bit space, exhaustion and recovery,
+// and reuse of coalesced adjacent ranges. Each step scripts one
+// operation against one allocator and states the exact expected outcome.
+type iovaStep struct {
+	op      string // "alloc", "free", "outstanding"
+	core    int
+	npages  int
+	addr    iommu.IOVA // for free; for alloc: expected address (checkAddr)
+	wantErr bool
+	check   bool   // alloc: verify returned address equals addr
+	want    uint64 // outstanding: expected value
+}
+
+func TestAllocatorEdgeCases(t *testing.T) {
+	const top = uint64(1) << (iommu.IOVABits - mem.PageShift) // 1<<36 pages
+	page := func(pg uint64) iommu.IOVA { return iommu.IOVA(pg << mem.PageShift) }
+
+	cases := []struct {
+		name  string
+		make  func() Allocator
+		steps []iovaStep
+	}{
+		{
+			// The allocator's range ends exactly at the top of the
+			// 48-bit IOVA space: page arithmetic must not wrap.
+			name: "tree wraparound at top of IOVA space",
+			make: func() Allocator { return NewTree(top-8, top) },
+			steps: []iovaStep{
+				{op: "alloc", npages: 4, addr: page(top - 4), check: true}, // top-down
+				{op: "alloc", npages: 4, addr: page(top - 8), check: true},
+				{op: "alloc", npages: 1, wantErr: true}, // full
+				{op: "free", addr: page(top - 4), npages: 4},
+				{op: "alloc", npages: 4, addr: page(top - 4), check: true}, // reused, no wrap
+				{op: "outstanding", want: 8},
+			},
+		},
+		{
+			name: "tree exhaustion and full recovery",
+			make: func() Allocator { return NewTree(16, 32) },
+			steps: []iovaStep{
+				{op: "alloc", npages: 8, addr: page(24), check: true},
+				{op: "alloc", npages: 8, addr: page(16), check: true},
+				{op: "alloc", npages: 1, wantErr: true},
+				{op: "free", addr: page(16), npages: 8},
+				{op: "alloc", npages: 9, wantErr: true}, // half free, but only 8 contiguous
+				{op: "free", addr: page(24), npages: 8},
+				// Freeing both halves coalesces into one 16-page extent:
+				// a full-range allocation must succeed again.
+				{op: "alloc", npages: 16, addr: page(16), check: true},
+				{op: "outstanding", want: 16},
+			},
+		},
+		{
+			name: "tree adjacent-range coalescing and reuse",
+			make: func() Allocator { return NewTree(0, 64) },
+			steps: []iovaStep{
+				{op: "alloc", npages: 16, addr: page(48), check: true},
+				{op: "alloc", npages: 16, addr: page(32), check: true},
+				{op: "alloc", npages: 16, addr: page(16), check: true},
+				// Free the middle, then its lower neighbour: they must
+				// coalesce with each other (and with [0,16) still free
+				// below) so a 48-page allocation fits.
+				{op: "free", addr: page(32), npages: 16},
+				{op: "free", addr: page(16), npages: 16},
+				{op: "alloc", npages: 48, addr: page(0), check: true},
+				{op: "outstanding", want: 64},
+			},
+		},
+		{
+			name: "tree rejects foreign and double frees",
+			make: func() Allocator { return NewTree(0, 16) },
+			steps: []iovaStep{
+				{op: "alloc", npages: 4, addr: page(12), check: true},
+				{op: "free", addr: page(8), npages: 4, wantErr: true},  // never allocated
+				{op: "free", addr: page(12), npages: 2, wantErr: true}, // size mismatch
+				{op: "free", addr: page(12), npages: 4},
+				{op: "free", addr: page(12), npages: 4, wantErr: true}, // double free
+			},
+		},
+		{
+			// The magazine layer caches frees per core; the same range
+			// must come straight back on the freeing core.
+			name: "magazine adjacent reuse through per-core cache",
+			make: func() Allocator { return NewMagazine(2, 0, 64, 4) },
+			steps: []iovaStep{
+				{op: "alloc", core: 0, npages: 4, addr: page(60), check: true},
+				{op: "free", core: 0, addr: page(60), npages: 4},
+				{op: "alloc", core: 0, npages: 4, addr: page(60), check: true}, // cache hit
+				{op: "free", core: 0, addr: page(60), npages: 4},
+				// A different size class misses the magazine and carves a
+				// fresh range from the backend below the cached one.
+				{op: "alloc", core: 0, npages: 2, addr: page(58), check: true},
+				{op: "outstanding", want: 2},
+			},
+		},
+		{
+			name: "magazine exhaustion accounts for cached ranges",
+			make: func() Allocator { return NewMagazine(1, 0, 8, 64) },
+			steps: []iovaStep{
+				{op: "alloc", npages: 8, addr: page(0), check: true},
+				{op: "alloc", npages: 1, wantErr: true},
+				{op: "free", addr: page(0), npages: 8},
+				{op: "outstanding", want: 0}, // cached in the magazine, but free to callers
+				{op: "alloc", npages: 8, addr: page(0), check: true},
+				{op: "outstanding", want: 8},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.make()
+			for i, s := range tc.steps {
+				switch s.op {
+				case "alloc":
+					got, err := a.Alloc(s.core, s.npages)
+					if (err != nil) != s.wantErr {
+						t.Fatalf("step %d: alloc(%d) err=%v, wantErr=%v", i, s.npages, err, s.wantErr)
+					}
+					if err == nil && s.check && got != s.addr {
+						t.Fatalf("step %d: alloc(%d) = %#x, want %#x", i, s.npages, uint64(got), uint64(s.addr))
+					}
+				case "free":
+					err := a.Free(s.core, s.addr, s.npages)
+					if (err != nil) != s.wantErr {
+						t.Fatalf("step %d: free(%#x,%d) err=%v, wantErr=%v", i, uint64(s.addr), s.npages, err, s.wantErr)
+					}
+				case "outstanding":
+					if got := a.Outstanding(); got != s.want {
+						t.Fatalf("step %d: outstanding = %d, want %d", i, got, s.want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTreeWraparoundStress brute-forces alloc/free cycles pinned to the
+// very top of the IOVA space, where any off-by-one in the extent
+// arithmetic would overflow uint64 page numbers.
+func TestTreeWraparoundStress(t *testing.T) {
+	const top = uint64(1) << (iommu.IOVABits - mem.PageShift)
+	tr := NewTree(top-128, top)
+	var held []struct {
+		a iommu.IOVA
+		n int
+	}
+	for round := 0; round < 200; round++ {
+		n := round%7 + 1
+		a, err := tr.Alloc(0, n)
+		if err != nil {
+			// Exhausted: free everything and keep going.
+			for _, h := range held {
+				if err := tr.Free(0, h.a, h.n); err != nil {
+					t.Fatal(err)
+				}
+			}
+			held = held[:0]
+			continue
+		}
+		if a.Page() < top-128 || a.Page()+uint64(n) > top {
+			t.Fatalf("allocation [%#x,+%d) escaped the arena", uint64(a), n)
+		}
+		held = append(held, struct {
+			a iommu.IOVA
+			n int
+		}{a, n})
+	}
+	for _, h := range held {
+		if err := tr.Free(0, h.a, h.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after freeing all", tr.Outstanding())
+	}
+	if got := tr.FreePages(); got != 128 {
+		t.Fatalf("free pages = %d, want 128 (lost or duplicated extents)", got)
+	}
+}

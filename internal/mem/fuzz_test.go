@@ -1,0 +1,147 @@
+package mem_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dmafuzz"
+	"repro/internal/mem"
+)
+
+// FuzzAccess drives random alloc/free/read/write/copy sequences through
+// the simulated physical memory and checks every byte against a plain
+// []byte model: writes round-trip, never-written pages read as zeros,
+// accesses to unallocated frames fail without partial effects, and
+// freeing everything returns the in-use accounting to baseline.
+func FuzzAccess(f *testing.F) {
+	f.Add(dmafuzz.Generate(1, 64).Encode())
+	f.Add(dmafuzz.Generate(3, 128).Encode())
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := mem.New(2)
+		baseline := []uint64{m.InUseBytes(0), m.InUseBytes(1)}
+
+		type region struct {
+			base  mem.Phys
+			pages int
+			model []byte
+		}
+		var regions []region
+		pick := func(b byte) *region {
+			if len(regions) == 0 {
+				return nil
+			}
+			return &regions[int(b)%len(regions)]
+		}
+
+		for i := 0; i+3 < len(data); i += 4 {
+			op, a, b, c := data[i]%6, data[i+1], data[i+2], data[i+3]
+			switch op {
+			case 0: // alloc 1..4 pages on domain a%2
+				if len(regions) >= 16 {
+					continue
+				}
+				pages := int(b)%4 + 1
+				p, err := m.AllocPages(int(a)%2, pages)
+				if err != nil {
+					t.Fatalf("alloc %d pages: %v", pages, err)
+				}
+				regions = append(regions, region{base: p, pages: pages, model: make([]byte, pages*mem.PageSize)})
+			case 1: // free a region
+				if r := pick(a); r != nil {
+					if err := m.FreePages(r.base, r.pages); err != nil {
+						t.Fatalf("free: %v", err)
+					}
+					idx := int(a) % len(regions)
+					regions = append(regions[:idx], regions[idx+1:]...)
+				}
+			case 2: // write a span
+				r := pick(a)
+				if r == nil {
+					continue
+				}
+				off := int(b) * len(r.model) / 256
+				n := int(c)%256 + 1
+				if off+n > len(r.model) {
+					n = len(r.model) - off
+				}
+				if n <= 0 {
+					continue
+				}
+				span := make([]byte, n)
+				for j := range span {
+					span[j] = c ^ byte(j)
+				}
+				if err := m.Write(r.base+mem.Phys(off), span); err != nil {
+					t.Fatalf("write: %v", err)
+				}
+				copy(r.model[off:off+n], span)
+			case 3: // read a span and compare to the model
+				r := pick(a)
+				if r == nil {
+					continue
+				}
+				off := int(b) * len(r.model) / 256
+				n := int(c)%512 + 1
+				if off+n > len(r.model) {
+					n = len(r.model) - off
+				}
+				if n <= 0 {
+					continue
+				}
+				got := make([]byte, n)
+				if err := m.Read(r.base+mem.Phys(off), got); err != nil {
+					t.Fatalf("read: %v", err)
+				}
+				if !bytes.Equal(got, r.model[off:off+n]) {
+					t.Fatalf("read mismatch at region off %d len %d", off, n)
+				}
+			case 4: // copy between two regions (non-overlapping by construction)
+				src, dst := pick(a), pick(b)
+				if src == nil || dst == nil || src.base == dst.base {
+					continue
+				}
+				n := int(c)%256 + 1
+				if n > len(src.model) {
+					n = len(src.model)
+				}
+				if n > len(dst.model) {
+					n = len(dst.model)
+				}
+				if err := m.Copy(dst.base, src.base, n); err != nil {
+					t.Fatalf("copy: %v", err)
+				}
+				copy(dst.model[:n], src.model[:n])
+			case 5: // access far outside any allocation must fail cleanly
+				bogus := mem.Phys(1) << 40
+				if err := m.Write(bogus, []byte{1}); err == nil {
+					t.Fatal("write to unallocated frame succeeded")
+				}
+				if err := m.Read(bogus, make([]byte, 8)); err == nil {
+					t.Fatal("read of unallocated frame succeeded")
+				}
+			}
+		}
+
+		// Verify every region once more, then tear down to baseline.
+		for i := range regions {
+			r := &regions[i]
+			got := make([]byte, len(r.model))
+			if err := m.Read(r.base, got); err != nil {
+				t.Fatalf("final read: %v", err)
+			}
+			if !bytes.Equal(got, r.model) {
+				t.Fatal("final read mismatch")
+			}
+			if err := m.FreePages(r.base, r.pages); err != nil {
+				t.Fatalf("final free: %v", err)
+			}
+		}
+		for d, want := range baseline {
+			if got := m.InUseBytes(d); got != want {
+				t.Fatalf("domain %d: %d bytes in use after teardown, baseline %d", d, got, want)
+			}
+		}
+	})
+}

@@ -127,6 +127,12 @@ type Memory struct {
 	domains int
 	doms    []domainStore
 
+	// AllocFail, when non-nil, is consulted before every AllocPages call;
+	// returning true makes the allocation fail with ErrInjectedAllocFail.
+	// It is a fault-injection hook (internal/dmafuzz) for exercising
+	// allocation-failure unwind paths; production code never sets it.
+	AllocFail func(domain, pages int) bool
+
 	// One-entry translation cache for access(): DMA copies touch the same
 	// page repeatedly (a 64 KiB transfer is 16 page-sized accesses, rings
 	// poll the same descriptor page), so remembering the last frame skips
@@ -196,6 +202,10 @@ func (m *Memory) mut(pfn uint64) (*frame, bool) {
 	return ds.ensure(rel), true
 }
 
+// ErrInjectedAllocFail is the sentinel returned when the AllocFail hook
+// vetoes an allocation.
+var ErrInjectedAllocFail = fmt.Errorf("mem: injected allocation failure")
+
 // AllocPages allocates n physically contiguous pages on the given NUMA
 // domain and returns the base address. Pages are zeroed.
 func (m *Memory) AllocPages(domain, n int) (Phys, error) {
@@ -204,6 +214,9 @@ func (m *Memory) AllocPages(domain, n int) (Phys, error) {
 	}
 	if n <= 0 {
 		return 0, fmt.Errorf("mem: bad page count %d", n)
+	}
+	if m.AllocFail != nil && m.AllocFail(domain, n) {
+		return 0, ErrInjectedAllocFail
 	}
 	ds := &m.doms[domain]
 	var base uint64

@@ -249,7 +249,6 @@ func (p *Pool) Acquire(proc *sim.Proc, osBuf mem.Buf, size int, rights iommu.Per
 		return nil, fmt.Errorf("shadow: core %d out of range", core)
 	}
 	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowAcquire)
-	p.stats.Acquires++
 
 	// 1) Private cache (chunk remainders) — no synchronization at all.
 	if stack := p.cache[core][class][ri]; len(stack) > 0 {
@@ -272,6 +271,9 @@ func (p *Pool) Acquire(proc *sim.Proc, osBuf mem.Buf, size int, rights iommu.Per
 }
 
 func (p *Pool) take(m *Meta, osBuf mem.Buf) *Meta {
+	// Counted here, the single success point: a failed grow must not
+	// inflate Acquires, or Acquires-Releases "leaks" phantom buffers.
+	p.stats.Acquires++
 	m.acquired = true
 	m.osBuf = osBuf
 	return m

@@ -1,0 +1,149 @@
+package shadow
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestPoolGrowTrimInterleaved interleaves growth (acquires past the
+// free-list supply) with trims (memory-pressure reclaim) across cores,
+// in one simulation. Trim destroys mappings of free buffers while other
+// cores are acquiring; the invariants: no acquire ever fails, every
+// live buffer stays device-accessible, and the footprint accounting
+// never underflows.
+func TestPoolGrowTrimInterleaved(t *testing.T) {
+	const cores = 4
+	cfg := Config{
+		SizeClasses:  []int{4096, 65536},
+		MaxPerClass:  16384,
+		Cores:        cores,
+		Domains:      2,
+		DomainOfCore: func(c int) int { return c / 2 },
+	}
+	r := newRig(t, cfg)
+	for c := 0; c < cores; c++ {
+		core := c
+		r.runOn(t, core, func(p *sim.Proc) {
+			var live []*Meta
+			for i := 0; i < 300; i++ {
+				size := 1000
+				if i%3 == 0 {
+					size = 5000 // 64 KiB class: the one Trim reclaims
+				}
+				m, err := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: size}, size, iommu.PermWrite)
+				if err != nil {
+					t.Errorf("core %d: acquire: %v", core, err)
+					return
+				}
+				// A live buffer must be translatable with its rights even
+				// if another core just trimmed its free siblings.
+				if _, _, fault := r.u.Translate(1, m.IOVA(), iommu.PermWrite); fault != nil {
+					t.Errorf("core %d: live shadow buffer not mapped: %v", core, fault)
+					return
+				}
+				live = append(live, m)
+				p.Work("w", 30)
+				if len(live) > 8 {
+					r.pool.Release(p, live[0])
+					live = live[1:]
+				}
+				if i%50 == 49 {
+					r.pool.Trim(p, core) // reclaim this core's free buffers
+					p.Work("w", 100)
+				}
+			}
+			for _, m := range live {
+				r.pool.Release(p, m)
+			}
+			r.pool.Trim(p, core)
+		})
+	}
+	r.eng.Run(1 << 40)
+	r.eng.Stop()
+
+	st := r.pool.Stats()
+	if st.Acquires != cores*300 {
+		t.Errorf("acquires = %d, want %d", st.Acquires, cores*300)
+	}
+	if st.Acquires != st.Releases {
+		t.Errorf("acquires %d != releases %d after teardown", st.Acquires, st.Releases)
+	}
+	if st.Trims == 0 || st.Grows == 0 {
+		t.Errorf("test exercised nothing: grows=%d trims=%d", st.Grows, st.Trims)
+	}
+	for class, b := range st.BytesByClass {
+		if int64(b) < 0 {
+			t.Errorf("class %d footprint underflowed: %d", class, b)
+		}
+	}
+	// After a final trim on every core, all 64 KiB-class buffers were
+	// free and must have been reclaimed.
+	if got := st.BytesByClass[1]; got != 0 {
+		t.Errorf("64 KiB class holds %d bytes after full trim", got)
+	}
+}
+
+// TestPoolInstancesParallelHost runs independent pool instances in real
+// goroutines (one simulation each) doing grow/trim churn. The simulated
+// world is single-threaded per engine, so any data race this catches —
+// under `go test -race` — is hidden shared state in the package itself.
+func TestPoolInstancesParallelHost(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			eng := sim.NewEngine()
+			mm := mem.New(1)
+			u := iommu.New(eng, mm, cycles.Default())
+			pool, err := NewPool(eng, mm, u, cycles.Default(), 1, defaultCfg(2))
+			if err != nil {
+				t.Errorf("worker %d: %v", seed, err)
+				return
+			}
+			r := &poolRig{eng: eng, mem: mm, u: u, pool: pool}
+			for c := 0; c < 2; c++ {
+				core := c
+				r.runOn(t, core, func(p *sim.Proc) {
+					var live []*Meta
+					for i := 0; i < 100; i++ {
+						size := 512 + (i+seed)%4096
+						m, err := r.pool.Acquire(p, mem.Buf{Addr: 1, Size: size}, size, iommu.PermRW)
+						if err != nil {
+							t.Errorf("worker %d: %v", seed, err)
+							return
+						}
+						live = append(live, m)
+						p.Work("w", 20)
+						if len(live) > 4 {
+							r.pool.Release(p, live[0])
+							live = live[1:]
+						}
+						if i%25 == 24 {
+							r.pool.Trim(p, core)
+						}
+					}
+					for _, m := range live {
+						r.pool.Release(p, m)
+					}
+				})
+			}
+			r.eng.Run(1 << 40)
+			r.eng.Stop()
+			if st := r.pool.Stats(); st.Acquires != st.Releases {
+				t.Errorf("worker %d: acquires %d != releases %d", seed, st.Acquires, st.Releases)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
