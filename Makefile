@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke baseline bench profile fuzz fuzz-smoke cover ci
+.PHONY: build vet test race smoke baseline bench profile fuzz fuzz-smoke cover doc-check ci
 
 build:
 	$(GO) build ./...
@@ -77,4 +77,9 @@ cover:
 		if (t+0 < f+0) { printf "coverage gate: %.1f%% < baseline %.1f%%\n", t, f; exit 1 } \
 		printf "coverage gate: %.1f%% >= baseline %.1f%%\n", t, f }'
 
-ci: vet test race smoke fuzz-smoke cover
+# Documentation gate: every relative markdown link must resolve and every
+# internal/ package must carry a package comment (see ci/doccheck).
+doc-check:
+	$(GO) run ./ci/doccheck
+
+ci: vet test race smoke fuzz-smoke cover doc-check

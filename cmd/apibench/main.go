@@ -17,6 +17,8 @@ func main() {
 	extended := flag.Bool("extended", false, "include swiotlb and selfinval")
 	format := flag.String("format", "text", "output format: text|csv|json")
 	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
+	cycleReport := flag.Bool("cyclereport", false, "append the microbenchmark cycle-attribution table (simulated-cycle profiler, doc/OBSERVABILITY.md)")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the strict map/unmap microbenchmark to this path")
 	flag.Parse()
 
 	opt := bench.Options{}
@@ -34,8 +36,27 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
+	tables := []*bench.Table{t}
+	if *cycleReport {
+		ct, err := bench.CycleReportMicro(opt)
+		if err != nil {
+			log.Fatalf("cycle report: %v", err)
+		}
+		cout, err := ct.Render(*format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(cout)
+		tables = append(tables, ct)
+	}
+	if *traceFile != "" {
+		if _, err := bench.WriteTraceMicro(bench.SysLinuxStrict, *traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("Chrome trace written to %s (load at https://ui.perfetto.dev)\n", *traceFile)
+	}
 	if *jsonOut != "" {
-		if err := bench.WriteArtifact(*jsonOut, "apibench", 0, nil, t); err != nil {
+		if err := bench.WriteArtifact(*jsonOut, "apibench", 0, nil, tables...); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -15,6 +15,8 @@ func main() {
 	window := flag.Float64("window", 20, "simulated milliseconds")
 	cores := flag.Int("cores", 16, "memcached instances (one per core)")
 	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
+	cycleReport := flag.Bool("cyclereport", false, "append the memcached cycle-attribution table (simulated-cycle profiler, doc/OBSERVABILITY.md)")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the strict memcached workload to this path")
 	flag.Parse()
 
 	var t *bench.Table
@@ -48,8 +50,23 @@ func main() {
 			})
 		}
 	}
+	tables := []*bench.Table{t}
+	if *cycleReport {
+		ct, err := bench.CycleReportKV(*cores, bench.Options{WindowMs: *window})
+		if err != nil {
+			log.Fatalf("cycle report: %v", err)
+		}
+		fmt.Println(ct)
+		tables = append(tables, ct)
+	}
+	if *traceFile != "" {
+		if _, err := bench.WriteTraceKV(bench.SysLinuxStrict, *cores, *traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("Chrome trace written to %s (load at https://ui.perfetto.dev)\n", *traceFile)
+	}
 	if *jsonOut != "" {
-		if err := bench.WriteArtifact(*jsonOut, "kvbench", *window, nil, t); err != nil {
+		if err := bench.WriteArtifact(*jsonOut, "kvbench", *window, nil, tables...); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -15,6 +15,8 @@ func main() {
 	window := flag.Float64("window", 20, "simulated milliseconds per data point")
 	breakdown := flag.Bool("breakdown", false, "also print the Figure 10 CPU breakdown")
 	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
+	cycleReport := flag.Bool("cyclereport", false, "append the RR cycle-attribution table (simulated-cycle profiler, doc/OBSERVABILITY.md)")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the strict RR workload to this path")
 	flag.Parse()
 
 	opt := bench.Options{WindowMs: *window}
@@ -31,6 +33,21 @@ func main() {
 		}
 		fmt.Println(t10)
 		tables = append(tables, t10)
+	}
+	if *cycleReport {
+		ct, err := bench.CycleReportRR(opt)
+		if err != nil {
+			log.Fatalf("cycle report: %v", err)
+		}
+		fmt.Println(ct)
+		tables = append(tables, ct)
+	}
+	if *traceFile != "" {
+		cfg := bench.DefaultConfig(bench.SysLinuxStrict, bench.RR, 1, 65536)
+		if _, err := bench.WriteTrace(cfg, *traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("Chrome trace written to %s (load at https://ui.perfetto.dev)\n", *traceFile)
 	}
 	if *jsonOut != "" {
 		if err := bench.WriteArtifact(*jsonOut, "latbench", *window, nil, tables...); err != nil {

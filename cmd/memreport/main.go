@@ -20,6 +20,8 @@ import (
 func main() {
 	window := flag.Float64("window", 20, "simulated milliseconds")
 	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
+	cycleReport := flag.Bool("cyclereport", false, "append the copy strategy's cycle-attribution tables (simulated-cycle profiler, doc/OBSERVABILITY.md)")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the copy-strategy 16-core RX workload to this path")
 	flag.Parse()
 
 	t, err := bench.MemoryConsumption(bench.Options{WindowMs: *window})
@@ -78,8 +80,28 @@ func main() {
 		"fallback_buffers": float64(ps.FallbackBuffers),
 		"iotlb_hit_rate":   tlb.HitRate(),
 	})
+	tables := []*bench.Table{t, detail}
+	if *cycleReport {
+		cts, err := bench.CycleReport(bench.Options{
+			WindowMs: *window, Systems: []string{bench.SysCopy},
+		})
+		if err != nil {
+			log.Fatalf("cycle report: %v", err)
+		}
+		for _, ct := range cts {
+			fmt.Println(ct)
+			tables = append(tables, ct)
+		}
+	}
+	if *traceFile != "" {
+		tcfg := bench.DefaultConfig(bench.SysCopy, bench.RX, 16, 65536)
+		if _, err := bench.WriteTrace(tcfg, *traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("Chrome trace written to %s (load at https://ui.perfetto.dev)\n", *traceFile)
+	}
 	if *jsonOut != "" {
-		if err := bench.WriteArtifact(*jsonOut, "memreport", *window, nil, t, detail); err != nil {
+		if err := bench.WriteArtifact(*jsonOut, "memreport", *window, nil, tables...); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig1|fig3|fig4|fig5|fig6|fig7|fig8|sensitivity|all")
+	experiment := flag.String("experiment", "all", "fig1|fig3|fig4|fig5|fig6|fig7|fig8|sensitivity|all|none")
 	window := flag.Float64("window", 20, "simulated milliseconds per data point")
 	sizes := flag.String("sizes", "", "comma-separated message sizes (default: the paper's 64B..64KB sweep)")
 	format := flag.String("format", "text", "output format: text|csv|json")
@@ -30,6 +30,8 @@ func main() {
 	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
+	cycleReport := flag.Bool("cyclereport", false, "append the cycle-attribution tables (simulated-cycle profiler, doc/OBSERVABILITY.md)")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the 16-core RX 1500B strict workload to this path")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -94,10 +96,10 @@ func main() {
 			return t, nil
 		})},
 	}
-	ran := false
+	ran := *experiment == "none" || *cycleReport || *traceFile != ""
 	var tables []*bench.Table
 	for _, e := range experiments {
-		if *experiment != "all" && *experiment != e.name {
+		if *experiment == "none" || (*experiment != "all" && *experiment != e.name) {
 			continue
 		}
 		ran = true
@@ -118,6 +120,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cycleReport {
+		cts, err := bench.CycleReport(opt)
+		if err != nil {
+			log.Fatalf("cycle report: %v", err)
+		}
+		for _, t := range cts {
+			out, err := t.Render(*format)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+			tables = append(tables, t)
+		}
+	}
+	if *traceFile != "" {
+		cfg := bench.DefaultConfig(bench.SysLinuxStrict, bench.RX, 16, 1500)
+		if opt.Costs != nil {
+			c := *opt.Costs
+			cfg.Costs = &c
+		}
+		if _, err := bench.WriteTrace(cfg, *traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("Chrome trace written to %s (load at https://ui.perfetto.dev)\n", *traceFile)
 	}
 	if *jsonOut != "" {
 		if err := bench.WriteArtifact(*jsonOut, "netbench", *window, opt.Costs, tables...); err != nil {

@@ -30,6 +30,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent sections (<=0 = GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	cycleReport := flag.Bool("cyclereport", false, "append the cycle-attribution tables (simulated-cycle profiler, doc/OBSERVABILITY.md)")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the 16-core RX workload to this path")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProfile, *memProfile)
@@ -69,6 +71,24 @@ func main() {
 	fmt.Println(t1.tbl)
 	for _, t := range tables {
 		fmt.Println(t)
+	}
+	if *cycleReport {
+		cts, err := bench.CycleReport(bench.Options{WindowMs: *window})
+		if err != nil {
+			log.Fatalf("cycle report: %v", err)
+		}
+		for _, t := range cts {
+			fmt.Println(t)
+			tables = append(tables, t)
+		}
+	}
+	if *traceFile != "" {
+		cfg := bench.DefaultConfig(bench.SysLinuxStrict, bench.RX, 16, 1500)
+		cfg.WindowMs = *window
+		if _, err := bench.WriteTrace(cfg, *traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("Chrome trace written to %s (load at https://ui.perfetto.dev)\n\n", *traceFile)
 	}
 	fmt.Printf("report complete in %s (wall clock)\n", time.Since(start).Round(time.Second))
 

@@ -10,7 +10,8 @@
 // implemented as a discrete-event simulation with a cycle-cost model
 // calibrated to the paper's measurements.
 //
-// See DESIGN.md for the system inventory and per-experiment index,
-// EXPERIMENTS.md for paper-vs-measured results, and the benchmarks in
-// bench_test.go (one per table and figure).
+// See ARCHITECTURE.md for the package map and layer diagram, DESIGN.md
+// for the system inventory and per-experiment index, EXPERIMENTS.md for
+// paper-vs-measured results, doc/README.md for the full document index,
+// and the benchmarks in bench_test.go (one per table and figure).
 package repro

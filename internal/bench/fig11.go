@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -21,11 +22,20 @@ type KVResult struct {
 // (one per core) under memslap load (64 B keys, 1 KiB values, 90%/10%
 // GET/SET), reporting aggregated transaction throughput and CPU.
 func RunMemcached(system string, cores int, windowMs float64) (KVResult, error) {
+	r, _, err := runMemcached(system, cores, windowMs, nil)
+	return r, err
+}
+
+// runMemcached is RunMemcached with an optional observer installed on the
+// machine; when o is non-nil the returned profile carries the servers'
+// cycle attribution (TotalBusy = summed server-proc busy cycles).
+func runMemcached(system string, cores int, windowMs float64, o *obs.Observer) (KVResult, *obs.Profile, error) {
 	cfg := DefaultConfig(system, RX, cores, 1024)
 	cfg.WindowMs = windowMs
+	cfg.Obs = o
 	mach, err := NewMachine(cfg)
 	if err != nil {
-		return KVResult{}, err
+		return KVResult{}, nil, err
 	}
 	scfg := kv.DefaultServerConfig()
 	ccfg := kv.DefaultClientConfig()
@@ -38,7 +48,7 @@ func RunMemcached(system string, cores int, windowMs float64) (KVResult, error) 
 		c := c
 		stores[c] = kv.NewStore(mach.Mem, mach.Kmal)
 		if err := kv.Prepopulate(stores[c], mach.Env.DomainOfCore(c), scfg); err != nil {
-			return KVResult{}, err
+			return KVResult{}, nil, err
 		}
 		pr := mach.Eng.Spawn(fmt.Sprintf("memcached%d", c), c, 0, func(p *sim.Proc) {
 			if err := kv.RunServer(p, mach.Driver, stores[c], c, scfg, &stats[c]); err != nil {
@@ -55,9 +65,15 @@ func RunMemcached(system string, cores int, windowMs float64) (KVResult, error) 
 	for _, p := range procs {
 		busy += p.Busy()
 	}
+	var prof *obs.Profile
+	if o != nil {
+		pr := o.Prof.Snapshot()
+		pr.TotalBusy = busy
+		prof = &pr
+	}
 	mach.Eng.Stop()
 	if runErr != nil {
-		return KVResult{}, runErr
+		return KVResult{}, nil, runErr
 	}
 	var tx, gets, sets, errors uint64
 	for c := 0; c < cores; c++ {
@@ -75,7 +91,7 @@ func RunMemcached(system string, cores int, windowMs float64) (KVResult, error) 
 	if gets+sets > 0 {
 		res.GetPct = 100 * float64(gets) / float64(gets+sets)
 	}
-	return res, nil
+	return res, prof, nil
 }
 
 // Fig11 reproduces Figure 11 across the four systems.

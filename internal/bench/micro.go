@@ -8,6 +8,7 @@ import (
 	"repro/internal/dmaapi"
 	"repro/internal/iommu"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -45,15 +46,23 @@ type MicroResult struct {
 
 // RunMicro measures `pairs` map+unmap pairs of a pattern under a strategy.
 func RunMicro(system string, pat MicroPattern, pairs int) (MicroResult, error) {
+	r, _, err := runMicro(system, pat, pairs, nil)
+	return r, err
+}
+
+// runMicro is RunMicro with an optional observer; when o is non-nil the
+// returned profile attributes the microbenchmark proc's busy cycles.
+func runMicro(system string, pat MicroPattern, pairs int, o *obs.Observer) (MicroResult, *obs.Profile, error) {
 	cfg := DefaultConfig(system, RX, 1, pat.Sizes[0])
 	cfg.NoHint = true
+	cfg.Obs = o
 	mach, err := NewMachine(cfg)
 	if err != nil {
-		return MicroResult{}, err
+		return MicroResult{}, nil, err
 	}
 	var perPair float64
 	var runErr error
-	mach.Eng.Spawn("micro", 0, 0, func(p *sim.Proc) {
+	pr := mach.Eng.Spawn("micro", 0, 0, func(p *sim.Proc) {
 		rng := rand.New(rand.NewSource(1))
 		type live struct {
 			addr iommu.IOVA
@@ -110,11 +119,17 @@ func RunMicro(system string, pat MicroPattern, pairs int) (MicroResult, error) {
 		perPair = cycles.Micros(p.Now()-start) / float64(pairs)
 	})
 	mach.Eng.Run(1 << 50)
+	var prof *obs.Profile
+	if o != nil {
+		snap := o.Prof.Snapshot()
+		snap.TotalBusy = pr.Busy()
+		prof = &snap
+	}
 	mach.Eng.Stop()
 	if runErr != nil {
-		return MicroResult{}, runErr
+		return MicroResult{}, nil, runErr
 	}
-	return MicroResult{System: system, Pattern: pat.Name, PerPairUs: perPair}, nil
+	return MicroResult{System: system, Pattern: pat.Name, PerPairUs: perPair}, prof, nil
 }
 
 // APIMicro builds the microbenchmark table across patterns and systems.

@@ -15,8 +15,10 @@ import (
 	"repro/internal/mem"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // System names, matching the paper's figure legends.
@@ -85,6 +87,12 @@ type Config struct {
 	// RemoteBufs places DMA buffers on the far NUMA domain (ablation of
 	// the shadow pool's NUMA stickiness).
 	RemoteBufs bool
+	// Obs, when non-nil, installs the observability layer on the machine's
+	// engine: spans feed its profiler (Result.Profile), counters are
+	// published into its registry after the run, and — if it records a
+	// timeline — the IOMMU gets an event ring for trace export. Must not
+	// be shared across concurrently-running machines.
+	Obs *obs.Observer
 }
 
 // DefaultConfig fills a Config with the paper's methodology defaults.
@@ -119,6 +127,9 @@ type Result struct {
 	Faults        uint64
 	IOTLBHitRate  float64
 	Invalidations uint64
+	// Profile is the cycle-attribution snapshot (nil unless Config.Obs was
+	// set); TotalBusy is the workload procs' summed busy cycles.
+	Profile *obs.Profile
 }
 
 // NewMapper instantiates a protection strategy by name.
@@ -154,6 +165,7 @@ type Machine struct {
 	NIC    *nic.NIC
 	Kmal   *mem.Kmalloc
 	Driver *netstack.Driver
+	Obs    *obs.Observer // nil unless Config.Obs was set
 }
 
 // NewMachine assembles the evaluated machine for a config.
@@ -164,6 +176,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 	eng := sim.NewEngine()
 	m := mem.New(2) // dual socket, as in the paper
 	u := iommu.New(eng, m, cfg.Costs)
+	if cfg.Obs != nil {
+		// Must precede every Spawn: procs copy the span sink at creation.
+		eng.SetObserver(cfg.Obs)
+		if cfg.Obs.Rec != nil {
+			u.Trace = trace.New(1 << 16)
+			cfg.Obs.Ring = u.Trace
+		}
+	}
 	env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: cfg.Costs, Dev: 1, Cores: cfg.Cores}
 	var mapper dmaapi.Mapper
 	var err error
@@ -186,7 +206,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	k := mem.NewKmalloc(m, nil)
 	drv := netstack.NewDriver(env, mapper, n, k, 2048)
 	drv.RemoteBufs = cfg.RemoteBufs
-	return &Machine{Eng: eng, Mem: m, IOMMU: u, Env: env, Mapper: mapper, NIC: n, Kmal: k, Driver: drv}, nil
+	return &Machine{Eng: eng, Mem: m, IOMMU: u, Env: env, Mapper: mapper, NIC: n, Kmal: k, Driver: drv, Obs: cfg.Obs}, nil
 }
 
 // Run executes one benchmark configuration.
@@ -350,6 +370,20 @@ func collect(mach *Machine, cfg Config, procs []*sim.Proc, window uint64) Result
 	res.Faults = mach.IOMMU.FaultCount
 	res.IOTLBHitRate = mach.IOMMU.TLB().HitRate()
 	res.Invalidations = mach.IOMMU.Queue.Submitted
+	if o := mach.Obs; o != nil {
+		pr := o.Prof.Snapshot()
+		pr.TotalBusy = busy
+		res.Profile = &pr
+		if o.Reg != nil {
+			obs.PublishEngine(o.Reg, mach.Eng)
+			obs.PublishIOMMU(o.Reg, mach.IOMMU)
+			obs.PublishNIC(o.Reg, mach.NIC)
+			obs.PublishMapper(o.Reg, mach.Mapper.Name(), res.MapperStats)
+			if sm, ok := mach.Mapper.(*core.ShadowMapper); ok {
+				obs.PublishPool(o.Reg, sm.Pool().Stats())
+			}
+		}
+	}
 	return res
 }
 

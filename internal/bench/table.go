@@ -133,14 +133,14 @@ func (t *Table) CSV() string {
 // BENCH_*.json artifacts.
 func (t *Table) JSON() (string, error) {
 	out, err := json.MarshalIndent(struct {
-		Name    string           `json:"name,omitempty"`
-		Title   string           `json:"title"`
-		Note    string           `json:"note,omitempty"`
-		Columns []string         `json:"columns"`
-		Rows    [][]string       `json:"rows"`
-		Winner  *report.Winner   `json:"winner,omitempty"`
-		Series  []report.Series  `json:"series,omitempty"`
-		WallMs  float64          `json:"wall_ms,omitempty"`
+		Name    string          `json:"name,omitempty"`
+		Title   string          `json:"title"`
+		Note    string          `json:"note,omitempty"`
+		Columns []string        `json:"columns"`
+		Rows    [][]string      `json:"rows"`
+		Winner  *report.Winner  `json:"winner,omitempty"`
+		Series  []report.Series `json:"series,omitempty"`
+		WallMs  float64         `json:"wall_ms,omitempty"`
 	}{t.Name, t.Title, t.Note, t.Columns, t.Rows, t.Winner, t.Series, t.WallMs}, "", "  ")
 	if err != nil {
 		return "", err

@@ -1,0 +1,18 @@
+// Package conformance pins the DMA API's cross-strategy contract by
+// driving the differential fuzzing harness (internal/dmafuzz) over fixed
+// seeds: whatever the protection model, the same driver workload must
+// produce identical OS-visible outcomes (the paper's transparency
+// property, §5.1), malicious probes must stay within granted authority
+// except in the paper-predicted windows, and teardown must return every
+// allocator to baseline.
+//
+// The verification logic itself — per-op differential comparison,
+// security-invariant checks with positive window observation, and
+// resource baselines — lives in dmafuzz's oracles; this package just
+// pins a wider seed matrix than the harness's own tests and documents
+// the conformance contract. See doc/FUZZING.md for the op model and
+// oracle details.
+//
+// The package contains only tests; this file exists so the package has a
+// buildable, documented identity outside the test binary.
+package conformance

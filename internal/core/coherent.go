@@ -26,12 +26,12 @@ func (s *ShadowMapper) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf
 	if err != nil {
 		return 0, mem.Buf{}, err
 	}
-	p.Charge(cycles.TagIOVA, env.Costs.MagazineAlloc)
+	p.ChargeSpan("iova-alloc", cycles.TagIOVA, env.Costs.MagazineAlloc)
 	base, err := s.extAlloc.Alloc(p.Core(), pages)
 	if err != nil {
 		return 0, mem.Buf{}, err
 	}
-	p.Charge(cycles.TagPTMgmt, env.Costs.PTMap+env.Costs.PTPerPage*uint64(pages-1))
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, env.Costs.PTMap+env.Costs.PTPerPage*uint64(pages-1))
 	if err := env.IOMMU.Map(env.Dev, base, phys, pages*mem.PageSize, iommu.PermRW); err != nil {
 		return 0, mem.Buf{}, err
 	}
@@ -44,15 +44,21 @@ func (s *ShadowMapper) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf
 func (s *ShadowMapper) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) error {
 	env := s.env
 	pages := (buf.Size + mem.PageSize - 1) / mem.PageSize
-	p.Charge(cycles.TagPTMgmt, env.Costs.PTUnmap)
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, env.Costs.PTUnmap)
 	if err := env.IOMMU.Unmap(env.Dev, addr, pages*mem.PageSize); err != nil {
 		return err
+	}
+	if p.Observed() {
+		p.SpanEnter("inval")
 	}
 	q := env.IOMMU.Queue
 	q.Lock.Lock(p)
 	done := q.SubmitPages(p, env.Dev, addr.Page(), uint64(pages))
 	q.WaitFor(p, done)
 	q.Lock.Unlock(p)
+	if p.Observed() {
+		p.SpanExit()
+	}
 	if err := s.extAlloc.Free(p.Core(), addr, pages); err != nil {
 		return err
 	}

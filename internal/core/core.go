@@ -130,6 +130,10 @@ func (s *ShadowMapper) Map(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iommu.IOVA
 	if buf.Size <= 0 {
 		return 0, fmt.Errorf("copy: map of %d bytes", buf.Size)
 	}
+	if p.Observed() {
+		p.SpanEnter("map")
+		defer p.SpanExit()
+	}
 	if buf.Size > s.pool.MaxClass() {
 		return s.mapHybrid(p, buf, dir)
 	}
@@ -152,6 +156,10 @@ func (s *ShadowMapper) Map(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iommu.IOVA
 // copied back to the OS buffer (honouring the copying hint); the shadow
 // buffer then returns to its pool. No IOTLB invalidation ever happens.
 func (s *ShadowMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir dmaapi.Dir) error {
+	if p.Observed() {
+		p.SpanEnter("unmap")
+		defer p.SpanExit()
+	}
 	if !shadow.IsShadow(addr) {
 		s.hyLock.Lock(p)
 		_, isHybrid := s.hybrids[addr]

@@ -35,7 +35,7 @@ func (s *ShadowMapper) mapHybrid(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iomm
 		return 0, fmt.Errorf("copy: hybrid map of sub-page buffer")
 	}
 
-	p.Charge(cycles.TagIOVA, env.Costs.MagazineAlloc)
+	p.ChargeSpan("iova-alloc", cycles.TagIOVA, env.Costs.MagazineAlloc)
 	base, err := s.extAlloc.Alloc(p.Core(), pages)
 	if err != nil {
 		return 0, err
@@ -95,7 +95,7 @@ func (s *ShadowMapper) mapHybrid(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iomm
 		if headLen > 0 {
 			start += mem.PageSize
 		}
-		p.Charge(cycles.TagPTMgmt, env.Costs.PTMap+env.Costs.PTPerPage*uint64(middlePages-1))
+		p.ChargeSpan("ptes", cycles.TagPTMgmt, env.Costs.PTMap+env.Costs.PTPerPage*uint64(middlePages-1))
 		if err := env.IOMMU.Map(env.Dev, cursor, start, middlePages*mem.PageSize, perm); err != nil {
 			unwind()
 			return 0, err
@@ -160,15 +160,21 @@ func (s *ShadowMapper) unmapHybrid(p *sim.Proc, addr iommu.IOVA, size int, dir d
 	}
 	// Destroy the mapping: this path DOES invalidate the IOTLB (strictly),
 	// which is fine precisely because huge-buffer DMA rates are low.
-	p.Charge(cycles.TagPTMgmt, env.Costs.PTUnmap+env.Costs.PTPerPage*uint64(hm.pages-1))
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, env.Costs.PTUnmap+env.Costs.PTPerPage*uint64(hm.pages-1))
 	if err := env.IOMMU.Unmap(env.Dev, hm.base, hm.pages*mem.PageSize); err != nil {
 		return err
+	}
+	if p.Observed() {
+		p.SpanEnter("inval")
 	}
 	q := env.IOMMU.Queue
 	q.Lock.Lock(p)
 	done := q.SubmitPages(p, env.Dev, hm.base.Page(), uint64(hm.pages))
 	q.WaitFor(p, done)
 	q.Lock.Unlock(p)
+	if p.Observed() {
+		p.SpanExit()
+	}
 
 	if hm.headPage != 0 {
 		s.freeShadowPage(p, hm.headPage)
@@ -176,7 +182,7 @@ func (s *ShadowMapper) unmapHybrid(p *sim.Proc, addr iommu.IOVA, size int, dir d
 	if hm.tailPage != 0 {
 		s.freeShadowPage(p, hm.tailPage)
 	}
-	p.Charge(cycles.TagIOVA, env.Costs.MagazineAlloc)
+	p.ChargeSpan("iova-free", cycles.TagIOVA, env.Costs.MagazineAlloc)
 	if err := s.extAlloc.Free(p.Core(), hm.base, hm.pages); err != nil {
 		return err
 	}
@@ -191,7 +197,13 @@ func (s *ShadowMapper) copyBytes(p *sim.Proc, from, to mem.Phys, n int) error {
 	if err := s.env.Mem.Copy(to, from, n); err != nil {
 		return err
 	}
-	s.copyCost(p, n, s.env.Mem.DomainOf(from), s.env.Mem.DomainOf(to))
+	if p.Observed() {
+		p.SpanEnter("copy")
+		s.copyCost(p, n, s.env.Mem.DomainOf(from), s.env.Mem.DomainOf(to))
+		p.SpanExit()
+	} else {
+		s.copyCost(p, n, s.env.Mem.DomainOf(from), s.env.Mem.DomainOf(to))
+	}
 	s.stats.BytesCopied += uint64(n)
 	return nil
 }
@@ -205,7 +217,7 @@ func (s *ShadowMapper) allocShadowPage(p *sim.Proc, domain int) (mem.Phys, error
 		s.pageCache[core] = s.pageCache[core][:n-1]
 		return pg, nil
 	}
-	p.Charge(cycles.TagCopyMgmt, s.env.Costs.ShadowGrow)
+	p.ChargeSpan("pool-grow", cycles.TagCopyMgmt, s.env.Costs.ShadowGrow)
 	return s.env.Mem.AllocPages(domain, 1)
 }
 

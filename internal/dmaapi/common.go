@@ -43,7 +43,7 @@ func unmapSGLoop(m Mapper, p *sim.Proc, addrs []iommu.IOVA, sizes []int, dir Dir
 // zero-copy mapping (no data movement is needed: the device already
 // operates directly on the OS buffer).
 func syncMaint(env *Env, p *sim.Proc) {
-	p.Charge(cycles.TagOther, env.Costs.SyncMaint)
+	p.ChargeSpan("sync", cycles.TagOther, env.Costs.SyncMaint)
 }
 
 // allocCoherentPages allocates whole pages for a coherent buffer on the
@@ -130,13 +130,19 @@ func (f *flushQueue) flushLocked(p *sim.Proc) {
 	if len(f.entries) == 0 {
 		return
 	}
+	if p.Observed() {
+		p.SpanEnter("inval")
+	}
 	q := f.env.IOMMU.Queue
 	q.Lock.Lock(p)
 	done := q.SubmitGlobal(p)
 	q.WaitFor(p, done)
 	q.Lock.Unlock(p)
+	if p.Observed() {
+		p.SpanExit()
+	}
 	if f.freeCost > 0 {
-		p.Charge(cycles.TagIOVA, f.freeCost*uint64(len(f.entries)))
+		p.ChargeSpan("iova-free", cycles.TagIOVA, f.freeCost*uint64(len(f.entries)))
 	}
 	for _, e := range f.entries {
 		if e.free != nil {

@@ -120,8 +120,12 @@ func (m *IdentityMapper) Map(p *sim.Proc, buf mem.Buf, dir Dir) (iommu.IOVA, err
 	if buf.Size <= 0 {
 		return 0, fmt.Errorf("identity: map of %d bytes", buf.Size)
 	}
+	if p.Observed() {
+		p.SpanEnter("map")
+		defer p.SpanExit()
+	}
 	pages := PagesOf(uint64(buf.Addr), buf.Size)
-	p.Charge(cycles.TagPTMgmt, m.env.Costs.PTMap+m.env.Costs.PTPerPage*uint64(pages-1))
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, m.env.Costs.PTMap+m.env.Costs.PTPerPage*uint64(pages-1))
 	first := buf.Addr.PFN()
 	for pg := first; pg < first+uint64(pages); pg++ {
 		s := m.shard(pg)
@@ -146,8 +150,12 @@ func (m *IdentityMapper) Map(p *sim.Proc, buf mem.Buf, dir Dir) (iommu.IOVA, err
 // the buffer's IOVA range is invalidated — synchronously for identity+,
 // batched for identity-.
 func (m *IdentityMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) error {
+	if p.Observed() {
+		p.SpanEnter("unmap")
+		defer p.SpanExit()
+	}
 	pages := PagesOf(uint64(addr), size)
-	p.Charge(cycles.TagPTMgmt, m.env.Costs.PTUnmap+m.env.Costs.PTPerPage*uint64(pages-1))
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, m.env.Costs.PTUnmap+m.env.Costs.PTPerPage*uint64(pages-1))
 	first := addr.Page()
 	for pg := first; pg < first+uint64(pages); pg++ {
 		s := m.shard(pg)
@@ -178,11 +186,17 @@ func (m *IdentityMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) 
 		// Strict: this buffer's authorization ends NOW; invalidate the
 		// range under the (contended) invalidation-queue lock and
 		// busy-wait.
+		if p.Observed() {
+			p.SpanEnter("inval")
+		}
 		q := m.env.IOMMU.Queue
 		q.Lock.Lock(p)
 		done := q.SubmitPages(p, m.env.Dev, first, uint64(pages))
 		q.WaitFor(p, done)
 		q.Lock.Unlock(p)
+		if p.Observed() {
+			p.SpanExit()
+		}
 	}
 	return nil
 }

@@ -66,15 +66,19 @@ func (m *LinuxMapper) Map(p *sim.Proc, buf mem.Buf, dir Dir) (iommu.IOVA, error)
 	if buf.Size <= 0 {
 		return 0, fmt.Errorf("linux: map of %d bytes", buf.Size)
 	}
+	if p.Observed() {
+		p.SpanEnter("map")
+		defer p.SpanExit()
+	}
 	pages := PagesOf(uint64(buf.Addr), buf.Size)
 	m.iovaLock.Lock(p)
-	p.Charge(cycles.TagIOVA, m.env.Costs.IOVAAlloc)
+	p.ChargeSpan("iova-alloc", cycles.TagIOVA, m.env.Costs.IOVAAlloc)
 	base, err := m.alloc.Alloc(p.Core(), pages)
 	m.iovaLock.Unlock(p)
 	if err != nil {
 		return 0, err
 	}
-	p.Charge(cycles.TagPTMgmt, m.env.Costs.PTMap+m.env.Costs.PTPerPage*uint64(pages-1))
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, m.env.Costs.PTMap+m.env.Costs.PTPerPage*uint64(pages-1))
 	if err := m.env.IOMMU.Map(m.env.Dev, base, buf.Addr.PageBase(), pages*mem.PageSize, dir.Perm()); err != nil {
 		return 0, err
 	}
@@ -95,9 +99,13 @@ func (m *LinuxMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) err
 		return fmt.Errorf("linux: unmap direction %v does not match map %v", dir, got)
 	}
 	delete(m.dirs, addr)
+	if p.Observed() {
+		p.SpanEnter("unmap")
+		defer p.SpanExit()
+	}
 	pages := PagesOf(uint64(addr), size)
 	base := addr - iommu.IOVA(addr.Offset())
-	p.Charge(cycles.TagPTMgmt, m.env.Costs.PTUnmap+m.env.Costs.PTPerPage*uint64(pages-1))
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, m.env.Costs.PTUnmap+m.env.Costs.PTPerPage*uint64(pages-1))
 	if err := m.env.IOMMU.Unmap(m.env.Dev, base, pages*mem.PageSize); err != nil {
 		return err
 	}
@@ -112,14 +120,20 @@ func (m *LinuxMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) err
 	// Strict: synchronous page-selective invalidation under the queue
 	// lock, busy-waiting for hardware completion (intel-iommu behaviour).
 	if !m.SkipInval {
+		if p.Observed() {
+			p.SpanEnter("inval")
+		}
 		q := m.env.IOMMU.Queue
 		q.Lock.Lock(p)
 		done := q.SubmitPages(p, m.env.Dev, base.Page(), uint64(pages))
 		q.WaitFor(p, done)
 		q.Lock.Unlock(p)
+		if p.Observed() {
+			p.SpanExit()
+		}
 	}
 	m.iovaLock.Lock(p)
-	p.Charge(cycles.TagIOVA, m.env.Costs.IOVAFree)
+	p.ChargeSpan("iova-free", cycles.TagIOVA, m.env.Costs.IOVAFree)
 	err := m.alloc.Free(p.Core(), base, pages)
 	m.iovaLock.Unlock(p)
 	return err
@@ -143,14 +157,14 @@ func (m *LinuxMapper) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf,
 	}
 	pages := (size + mem.PageSize - 1) / mem.PageSize
 	m.iovaLock.Lock(p)
-	p.Charge(cycles.TagIOVA, m.env.Costs.IOVAAlloc)
+	p.ChargeSpan("iova-alloc", cycles.TagIOVA, m.env.Costs.IOVAAlloc)
 	base, err := m.alloc.Alloc(p.Core(), pages)
 	m.iovaLock.Unlock(p)
 	if err != nil {
 		_ = freeCoherentPages(m.env, buf)
 		return 0, mem.Buf{}, err
 	}
-	p.Charge(cycles.TagPTMgmt, m.env.Costs.PTMap+m.env.Costs.PTPerPage*uint64(pages-1))
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, m.env.Costs.PTMap+m.env.Costs.PTPerPage*uint64(pages-1))
 	if err := m.env.IOMMU.Map(m.env.Dev, base, buf.Addr, pages*mem.PageSize, iommu.PermRW); err != nil {
 		return 0, mem.Buf{}, err
 	}
@@ -163,15 +177,21 @@ func (m *LinuxMapper) AllocCoherent(p *sim.Proc, size int) (iommu.IOVA, mem.Buf,
 // invalidated (infrequent, not performance critical — paper §5.2).
 func (m *LinuxMapper) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) error {
 	pages := (buf.Size + mem.PageSize - 1) / mem.PageSize
-	p.Charge(cycles.TagPTMgmt, m.env.Costs.PTUnmap)
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, m.env.Costs.PTUnmap)
 	if err := m.env.IOMMU.Unmap(m.env.Dev, addr, pages*mem.PageSize); err != nil {
 		return err
+	}
+	if p.Observed() {
+		p.SpanEnter("inval")
 	}
 	q := m.env.IOMMU.Queue
 	q.Lock.Lock(p)
 	done := q.SubmitPages(p, m.env.Dev, addr.Page(), uint64(pages))
 	q.WaitFor(p, done)
 	q.Lock.Unlock(p)
+	if p.Observed() {
+		p.SpanExit()
+	}
 	m.iovaLock.Lock(p)
 	err := m.alloc.Free(p.Core(), addr, pages)
 	m.iovaLock.Unlock(p)

@@ -68,18 +68,22 @@ func (s *SWIOTLB) Map(p *sim.Proc, buf mem.Buf, dir Dir) (iommu.IOVA, error) {
 	if buf.Size <= 0 {
 		return 0, fmt.Errorf("swiotlb: map of %d bytes", buf.Size)
 	}
+	if p.Observed() {
+		p.SpanEnter("map")
+		defer p.SpanExit()
+	}
 	class, err := s.classFor(buf.Size)
 	if err != nil {
 		return 0, err
 	}
 	core := p.Core()
-	p.Charge(cycles.TagCopyMgmt, s.env.Costs.ShadowAcquire)
+	p.ChargeSpan("pool-acquire", cycles.TagCopyMgmt, s.env.Costs.ShadowAcquire)
 	var slot mem.Buf
 	if stack := s.free[core][class]; len(stack) > 0 {
 		slot = stack[len(stack)-1]
 		s.free[core][class] = stack[:len(stack)-1]
 	} else {
-		p.Charge(cycles.TagCopyMgmt, s.env.Costs.ShadowGrow)
+		p.ChargeSpan("pool-grow", cycles.TagCopyMgmt, s.env.Costs.ShadowGrow)
 		pages := (swiotlbClasses[class] + mem.PageSize - 1) / mem.PageSize
 		addr, err := s.env.Mem.AllocPages(s.env.DomainOfCore(core), pages)
 		if err != nil {
@@ -91,9 +95,15 @@ func (s *SWIOTLB) Map(p *sim.Proc, buf mem.Buf, dir Dir) (iommu.IOVA, error) {
 		if err := s.env.Mem.Copy(slot.Addr, buf.Addr, buf.Size); err != nil {
 			return 0, err
 		}
+		if p.Observed() {
+			p.SpanEnter("bounce")
+		}
 		p.Charge(cycles.TagMemcpy, s.env.Costs.Memcpy(buf.Size))
 		if poll := s.env.Costs.Pollution(buf.Size); poll > 0 {
 			p.Charge(cycles.TagOther, poll)
+		}
+		if p.Observed() {
+			p.SpanExit()
 		}
 		s.stats.BytesCopied += uint64(buf.Size)
 	}
@@ -114,14 +124,24 @@ func (s *SWIOTLB) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) error {
 		return fmt.Errorf("swiotlb: unmap mismatch")
 	}
 	delete(s.live, addr)
-	p.Charge(cycles.TagCopyMgmt, s.env.Costs.ShadowFind+s.env.Costs.ShadowRelease)
+	if p.Observed() {
+		p.SpanEnter("unmap")
+		defer p.SpanExit()
+	}
+	p.ChargeSpan("pool-release", cycles.TagCopyMgmt, s.env.Costs.ShadowFind+s.env.Costs.ShadowRelease)
 	if dir == FromDevice || dir == Bidirectional {
 		if err := s.env.Mem.Copy(b.osBuf.Addr, b.slot.Addr, size); err != nil {
 			return err
 		}
+		if p.Observed() {
+			p.SpanEnter("bounce")
+		}
 		p.Charge(cycles.TagMemcpy, s.env.Costs.Memcpy(size))
 		if poll := s.env.Costs.Pollution(size); poll > 0 {
 			p.Charge(cycles.TagOther, poll)
+		}
+		if p.Observed() {
+			p.SpanExit()
 		}
 		s.stats.BytesCopied += uint64(size)
 	}
@@ -183,7 +203,7 @@ func (s *SWIOTLB) SyncForCPU(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) er
 		if err := s.env.Mem.Copy(b.osBuf.Addr, b.slot.Addr, size); err != nil {
 			return err
 		}
-		p.Charge(cycles.TagMemcpy, s.env.Costs.Memcpy(size))
+		p.ChargeSpan("bounce", cycles.TagMemcpy, s.env.Costs.Memcpy(size))
 		s.stats.BytesCopied += uint64(size)
 	}
 	return nil
@@ -203,7 +223,7 @@ func (s *SWIOTLB) SyncForDevice(p *sim.Proc, addr iommu.IOVA, size int, dir Dir)
 		if err := s.env.Mem.Copy(b.slot.Addr, b.osBuf.Addr, size); err != nil {
 			return err
 		}
-		p.Charge(cycles.TagMemcpy, s.env.Costs.Memcpy(size))
+		p.ChargeSpan("bounce", cycles.TagMemcpy, s.env.Costs.Memcpy(size))
 		s.stats.BytesCopied += uint64(size)
 	}
 	return nil

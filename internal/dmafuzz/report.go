@@ -62,11 +62,11 @@ type SecuritySummary struct {
 // caches, so pass 2 must end byte-identical — anything monotonic is a
 // leak.
 type ResourceSummary struct {
-	AccountingZero1 bool             `json:"accountingZero1"`
-	AccountingZero2 bool             `json:"accountingZero2"`
+	AccountingZero1 bool              `json:"accountingZero1"`
+	AccountingZero2 bool              `json:"accountingZero2"`
 	Accounting2     dmaapi.Accounting `json:"accounting2"`
-	InUse1          []uint64         `json:"inUse1"`
-	InUse2          []uint64         `json:"inUse2"`
+	InUse1          []uint64          `json:"inUse1"`
+	InUse2          []uint64          `json:"inUse2"`
 }
 
 // BackendResult is one backend's complete run outcome.

@@ -51,7 +51,7 @@ func newInvQueue(eng *sim.Engine, u *IOMMU, costs *cycles.Costs) *InvQueue {
 // submit queues one invalidation command whose effect runs when the
 // hardware gets to it, and returns the completion time. Caller holds Lock.
 func (q *InvQueue) submit(p *sim.Proc, effect func()) uint64 {
-	p.Charge(cycles.TagInvalidate, q.costs.InvSubmit)
+	p.ChargeSpan("inval-submit", cycles.TagInvalidate, q.costs.InvSubmit)
 	start := q.hwFreeAt
 	if p.Now() > start {
 		start = p.Now()
@@ -85,8 +85,13 @@ func (q *InvQueue) SubmitGlobal(p *sim.Proc) uint64 {
 }
 
 // WaitFor busy-waits (wait-descriptor polling) until the hardware reaches
-// completion time t. The spin is accounted as IOTLB-invalidation time.
+// completion time t. The spin is accounted as IOTLB-invalidation time (and
+// attributed to an "inval-wait" span when profiling).
 func (q *InvQueue) WaitFor(p *sim.Proc, t uint64) {
+	if p.Observed() {
+		p.SpanEnter("inval-wait")
+		defer p.SpanExit()
+	}
 	p.SpinUntil(cycles.TagInvalidate, t)
 }
 

@@ -66,7 +66,7 @@ func RunServer(p *sim.Proc, drv *netstack.Driver, store *Store, qi int, cfg Serv
 			q.RxCond.WaitUntil(p, q.HasRx)
 			p.Sleep(co.SchedLatency)
 		}
-		p.Charge(cycles.TagOther, co.InterruptEntry)
+		p.ChargeSpan("rx/irq", cycles.TagOther, co.InterruptEntry)
 		for _, c := range q.DrainRx() {
 			payload, err := drv.HandleRxRaw(p, qi, c)
 			if err != nil {
@@ -78,7 +78,7 @@ func RunServer(p *sim.Proc, drv *netstack.Driver, store *Store, qi int, cfg Serv
 				continue
 			}
 			st.Requests++
-			p.Charge(cycles.TagOther, cfg.OpCycles)
+			p.ChargeSpan("kv/op", cycles.TagOther, cfg.OpCycles)
 			var resp []byte
 			switch req.Op {
 			case OpGet:

@@ -144,13 +144,17 @@ type RxStats struct {
 // handleRx processes one receive completion: dma_unmap, protocol parsing,
 // optional firewall, copy to userspace, buffer recycle.
 func (d *Driver) handleRx(p *sim.Proc, q *nic.Queue, c nic.RxCompletion, msgSize int, msgAcc *int, st *RxStats) error {
+	if p.Observed() {
+		p.SpanEnter("rx")
+		defer p.SpanExit()
+	}
 	buf := c.Desc.Tag.(mem.Buf)
 	if err := d.mapper.Unmap(p, c.Desc.Addr, buf.Size, dmaapi.FromDevice); err != nil {
 		return err
 	}
 	co := d.env.Costs
-	p.Charge(cycles.TagRxParse, co.RxParse)
-	p.Charge(cycles.TagOther, co.PktCost(c.Len))
+	p.ChargeSpan("parse", cycles.TagRxParse, co.RxParse)
+	p.ChargeSpan("stack", cycles.TagOther, co.PktCost(c.Len))
 
 	dropped := false
 	var payload []byte
@@ -167,7 +171,7 @@ func (d *Driver) handleRx(p *sim.Proc, q *nic.Queue, c nic.RxCompletion, msgSize
 	if !dropped {
 		// copy_to_user; Work (not Charge) so device-side events can
 		// interleave with packet consumption, as on real hardware.
-		p.Work(cycles.TagCopyUser, co.CopyUser(c.Len))
+		p.WorkSpan("copy-user", cycles.TagCopyUser, co.CopyUser(c.Len))
 		if d.OnDeliver != nil {
 			// The application reads the buffer NOW — if a malicious
 			// device modified it after the firewall check, this is
@@ -183,7 +187,7 @@ func (d *Driver) handleRx(p *sim.Proc, q *nic.Queue, c nic.RxCompletion, msgSize
 		for *msgAcc >= msgSize {
 			*msgAcc -= msgSize
 			st.Messages++
-			p.Charge(cycles.TagOther, co.MsgOther)
+			p.ChargeSpan("msg", cycles.TagOther, co.MsgOther)
 		}
 	}
 	// Recycle the buffer: remap and repost.
@@ -202,7 +206,7 @@ func (d *Driver) RunRxStream(p *sim.Proc, qi, msgSize int, st *RxStats) error {
 			q.RxCond.WaitUntil(p, q.HasRx)
 			p.Sleep(co.SchedLatency)
 		}
-		p.Charge(cycles.TagOther, co.InterruptEntry)
+		p.ChargeSpan("rx/irq", cycles.TagOther, co.InterruptEntry)
 		for _, c := range q.DrainRx() {
 			if err := d.handleRx(p, q, c, msgSize, &msgAcc, st); err != nil {
 				return err
@@ -242,19 +246,23 @@ func (d *Driver) NewTxPool(p *sim.Proc, n int) (*TxPool, error) {
 // servers (e.g. the key-value store): dma_unmap, per-packet stack costs,
 // payload extraction, buffer recycle. It returns the packet payload.
 func (d *Driver) HandleRxRaw(p *sim.Proc, qi int, c nic.RxCompletion) ([]byte, error) {
+	if p.Observed() {
+		p.SpanEnter("rx")
+		defer p.SpanExit()
+	}
 	q := d.n.Queue(qi)
 	buf := c.Desc.Tag.(mem.Buf)
 	if err := d.mapper.Unmap(p, c.Desc.Addr, buf.Size, dmaapi.FromDevice); err != nil {
 		return nil, err
 	}
 	co := d.env.Costs
-	p.Charge(cycles.TagRxParse, co.RxParse)
-	p.Charge(cycles.TagOther, co.PktCost(c.Len))
+	p.ChargeSpan("parse", cycles.TagRxParse, co.RxParse)
+	p.ChargeSpan("stack", cycles.TagOther, co.PktCost(c.Len))
 	payload := make([]byte, c.Len)
 	if err := d.env.Mem.Read(buf.Addr, payload); err != nil {
 		return nil, err
 	}
-	p.Work(cycles.TagCopyUser, co.CopyUser(c.Len))
+	p.WorkSpan("copy-user", cycles.TagCopyUser, co.CopyUser(c.Len))
 	if err := d.postRxBuf(p, q, buf); err != nil {
 		return nil, err
 	}

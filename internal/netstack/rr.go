@@ -43,7 +43,7 @@ func (d *Driver) RunRRServer(p *sim.Proc, qi, msgSize int, st *RRServerStats) er
 				q.RxCond.WaitUntil(p, q.HasRx)
 				p.Sleep(co.SchedLatency)
 			}
-			p.Charge(cycles.TagOther, co.InterruptEntry)
+			p.ChargeSpan("rx/irq", cycles.TagOther, co.InterruptEntry)
 			for _, c := range q.DrainRx() {
 				if err := d.handleRx(p, q, c, msgSize, &msgAcc, &st.Rx); err != nil {
 					return err
@@ -72,10 +72,14 @@ func (d *Driver) SendMessageData(p *sim.Proc, q *nic.Queue, pool *TxPool, data [
 }
 
 func (d *Driver) sendMessage(p *sim.Proc, q *nic.Queue, pool *TxPool, msgSize int, data []byte, st *TxStats) error {
+	if p.Observed() {
+		p.SpanEnter("tx")
+		defer p.SpanExit()
+	}
 	co := d.env.Costs
 	maxSkb := d.n.MaxTxBuf()
-	p.Charge(cycles.TagOther, co.MsgOther)
-	p.Charge(cycles.TagCopyUser, co.CopyUser(msgSize))
+	p.ChargeSpan("msg", cycles.TagOther, co.MsgOther)
+	p.ChargeSpan("copy-user", cycles.TagCopyUser, co.CopyUser(msgSize))
 	st.Messages++
 	drain := func() error {
 		for _, dd := range q.DrainTx() {
@@ -118,7 +122,7 @@ func (d *Driver) sendMessage(p *sim.Proc, q *nic.Queue, pool *TxPool, msgSize in
 		if err != nil {
 			return err
 		}
-		p.Charge(cycles.TagOther, co.TxSkb(skb))
+		p.ChargeSpan("skb", cycles.TagOther, co.TxSkb(skb))
 		for !q.PostTx(p, nic.Desc{Addr: addr, Len: skb, Tag: use}) {
 			q.TxCond.WaitUntil(p, q.HasTx)
 			p.Sleep(co.SchedLatency)

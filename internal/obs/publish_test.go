@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/nic"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+)
+
+// TestPublishNaming pins the dotted naming convention end to end: each
+// Publish helper pulls its subsystem's raw counters into the registry
+// under <subsystem>.<object>.<metric> names.
+func TestPublishNaming(t *testing.T) {
+	r := NewRegistry()
+	eng := sim.NewEngine()
+	costs := cycles.Default()
+	m := mem.New(1)
+	u := iommu.New(eng, m, costs)
+
+	PublishEngine(r, eng)
+	PublishIOMMU(r, u)
+	PublishNIC(r, nic.New(eng, u, nic.Config{
+		Dev: 1, Queues: 1, RingSize: 8, MTU: 1500, Costs: costs,
+	}))
+	PublishPool(r, shadow.PoolStats{Acquires: 7, Releases: 5})
+	PublishMapper(r, "copy", dmaapi.Stats{
+		Maps: 3, Unmaps: 3, BytesCopied: 4096, FallbackMaps: 1,
+	})
+	PublishMapper(r, "noiommu", dmaapi.Stats{}) // no maps: shadow-only metrics suppressed
+
+	l := sim.NewSpinlock("iova", "sw", sim.LockCosts{Uncontended: 4})
+	eng.Spawn("w", 0, 0, func(p *sim.Proc) {
+		l.Lock(p)
+		l.Unlock(p)
+	})
+	eng.Run(1 << 20)
+	eng.Stop()
+	PublishLock(r, l)
+
+	s := r.Snapshot()
+	for _, name := range []string{
+		"sim.engine.dispatches",
+		"iommu.translations",
+		"iommu.iotlb.hits",
+		"iommu.invq.submitted",
+		"nic.rx.frames",
+		"nic.tx.bytes",
+		"shadow.pool.acquires",
+		"dma.copy.maps",
+		"dma.copy.bytes_copied",
+		"lock.iova.acquires",
+	} {
+		if _, ok := s.Counters[name]; !ok {
+			t.Errorf("counter %q not published", name)
+		}
+	}
+	for _, name := range []string{"iommu.iotlb.hit_rate", "shadow.pool.bytes"} {
+		if _, ok := s.Gauges[name]; !ok {
+			t.Errorf("gauge %q not published", name)
+		}
+	}
+	if s.Counters["shadow.pool.acquires"] != 7 {
+		t.Errorf("shadow.pool.acquires = %d, want 7", s.Counters["shadow.pool.acquires"])
+	}
+	if s.Counters["dma.copy.bytes_copied"] != 4096 {
+		t.Errorf("dma.copy.bytes_copied = %d, want 4096", s.Counters["dma.copy.bytes_copied"])
+	}
+	if _, ok := s.Counters["dma.noiommu.bytes_copied"]; ok {
+		t.Error("shadow-only metrics published for a mapper with zero maps")
+	}
+	if s.Counters["lock.iova.acquires"] != 1 {
+		t.Errorf("lock.iova.acquires = %d, want 1", s.Counters["lock.iova.acquires"])
+	}
+	if got := s.String(); got == "" {
+		t.Error("Snapshot.String() empty")
+	}
+}

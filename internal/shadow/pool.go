@@ -248,7 +248,7 @@ func (p *Pool) Acquire(proc *sim.Proc, osBuf mem.Buf, size int, rights iommu.Per
 	if core < 0 || core >= p.cfg.Cores {
 		return nil, fmt.Errorf("shadow: core %d out of range", core)
 	}
-	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowAcquire)
+	proc.ChargeSpan("pool-acquire", cycles.TagCopyMgmt, p.costs.ShadowAcquire)
 
 	// 1) Private cache (chunk remainders) — no synchronization at all.
 	if stack := p.cache[core][class][ri]; len(stack) > 0 {
@@ -283,7 +283,7 @@ func (p *Pool) take(m *Meta, osBuf mem.Buf) *Meta {
 // domain, maps them permanently in the IOMMU, and returns one (caching the
 // remaining chunks privately). Paper §5.3, "Shadow buffer allocation".
 func (p *Pool) grow(proc *sim.Proc, core, class, ri int) (*Meta, error) {
-	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowGrow)
+	proc.ChargeSpan("pool-grow", cycles.TagCopyMgmt, p.costs.ShadowGrow)
 	p.stats.Grows++
 	domain := p.cfg.DomainOfCore(core)
 	classSize := p.cfg.SizeClasses[class]
@@ -352,7 +352,7 @@ func (p *Pool) growFallback(proc *sim.Proc, core, class, ri int, phys mem.Phys, 
 	classSize := p.cfg.SizeClasses[class]
 	span := chunks * classSize
 	pages := (span + mem.PageSize - 1) / mem.PageSize
-	proc.Charge(cycles.TagCopyMgmt, p.costs.MagazineAlloc)
+	proc.ChargeSpan("pool-grow", cycles.TagCopyMgmt, p.costs.MagazineAlloc)
 	base, err := p.fb.alloc.Alloc(core, pages)
 	if err != nil {
 		return nil, err
@@ -381,7 +381,7 @@ func (p *Pool) growFallback(proc *sim.Proc, core, class, ri int, phys mem.Phys, 
 // Find locates the metadata of the shadow buffer whose base IOVA is addr,
 // in O(1) via the IOVA encoding (Table 2: find_shadow).
 func (p *Pool) Find(proc *sim.Proc, addr iommu.IOVA) (*Meta, error) {
-	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowFind)
+	proc.ChargeSpan("pool-find", cycles.TagCopyMgmt, p.costs.ShadowFind)
 	p.stats.Finds++
 	if !IsShadow(addr) {
 		// Fallback half: external hash table.
@@ -416,7 +416,7 @@ func (p *Pool) Find(proc *sim.Proc, addr iommu.IOVA) (*Meta, error) {
 // them NUMA-local and their IOMMU mapping unchanged forever (Table 2:
 // release_shadow).
 func (p *Pool) Release(proc *sim.Proc, m *Meta) {
-	proc.Charge(cycles.TagCopyMgmt, p.costs.ShadowRelease)
+	proc.ChargeSpan("pool-release", cycles.TagCopyMgmt, p.costs.ShadowRelease)
 	p.stats.Releases++
 	m.acquired = false
 	m.osBuf = mem.Buf{}

@@ -29,6 +29,10 @@ type Engine struct {
 	// prove the fast path cannot reorder the simulation.
 	noFastYield bool
 
+	// obs, when set via SetObserver before Spawn, is handed to every
+	// spawned proc as its span sink (see obs.go).
+	obs SpanSink
+
 	// Scheduler statistics (informational; virtual-time results never
 	// depend on them).
 	dispatches uint64
@@ -223,6 +227,7 @@ func (e *Engine) Spawn(name string, core int, start uint64, fn func(p *Proc)) *P
 		clock:  start,
 		resume: make(chan struct{}),
 		tagged: make(map[string]uint64),
+		obs:    e.obs,
 	}
 	e.procs = append(e.procs, p)
 	go func() {

@@ -18,9 +18,10 @@ type LockCosts struct {
 // contended handoffs pay coherence-traffic costs that grow with the number
 // of spinners. Acquisition order is FIFO (ticket-lock behaviour).
 type Spinlock struct {
-	name  string
-	costs LockCosts
-	tag   string
+	name     string
+	spanName string // "spin:"+name, precomputed so hot paths allocate nothing
+	costs    LockCosts
+	tag      string
 
 	owner   *Proc
 	waiters []*Proc
@@ -36,7 +37,7 @@ type Spinlock struct {
 // NewSpinlock creates a spinlock. Spin-wait time is accounted under tag
 // (normally cycles.TagSpinlock).
 func NewSpinlock(name, tag string, costs LockCosts) *Spinlock {
-	return &Spinlock{name: name, costs: costs, tag: tag}
+	return &Spinlock{name: name, spanName: "spin:" + name, costs: costs, tag: tag}
 }
 
 // Name returns the lock's name.
@@ -48,8 +49,15 @@ func (l *Spinlock) Held() bool { return l.owner != nil }
 // Waiters returns the number of procs currently spinning on the lock.
 func (l *Spinlock) Waiters() int { return len(l.waiters) }
 
-// Lock acquires the spinlock, spinning (busy) if it is contended.
+// Lock acquires the spinlock, spinning (busy) if it is contended. When a
+// span sink is attached the acquisition — uncontended charge or contended
+// spin, including the handoff penalty accrued on wake — is reported as a
+// "spin:<name>" span.
 func (l *Spinlock) Lock(p *Proc) {
+	if p.obs != nil {
+		p.SpanEnter(l.spanName)
+		defer p.SpanExit()
+	}
 	p.fence()
 	l.Acquires++
 	if l.owner == nil {

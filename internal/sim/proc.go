@@ -21,6 +21,11 @@ type Proc struct {
 	wakeBusy   bool   // whether the jump to wakeAt counts as busy
 	wakeTag    string
 	blockStart uint64
+
+	// Observability (see obs.go). obs is captured from the engine at
+	// Spawn; nil means every span call is a bare nil check.
+	obs   SpanSink
+	spans []spanFrame
 }
 
 // Name returns the proc's name.

@@ -79,7 +79,7 @@ func (bd *BlockDriver) RunWorkload(p *sim.Proc, qi int, cfg WorkloadConfig, st *
 	complete := func() error {
 		for _, c := range q.DrainComp() {
 			fl := c.Cmd.Tag.(*inflight)
-			p.Charge(cycles.TagOther, co.BlkComplete)
+			p.ChargeSpan("blk/complete", cycles.TagOther, co.BlkComplete)
 			if err := bd.mapper.Unmap(p, c.Cmd.Addr, fl.buf.Size, fl.dir); err != nil {
 				return err
 			}
@@ -127,7 +127,7 @@ func (bd *BlockDriver) RunWorkload(p *sim.Proc, qi int, cfg WorkloadConfig, st *
 		isRead := rng.Intn(100) < cfg.ReadPct
 		fl := &inflight{buf: buf, lba: lba}
 		var cmd Command
-		p.Charge(cycles.TagOther, co.BlkSubmit)
+		p.ChargeSpan("blk/submit", cycles.TagOther, co.BlkSubmit)
 		if isRead {
 			fl.dir = dmaapi.FromDevice
 			if cfg.Verify {
