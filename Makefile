@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke baseline bench profile fuzz fuzz-smoke cover doc-check ci
+.PHONY: build vet test race smoke baseline chaos-smoke chaos-baseline bench profile fuzz fuzz-smoke cover doc-check ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,20 @@ smoke:
 # the cost model or experiments; review the diff before committing).
 baseline:
 	$(GO) run ./cmd/reproduce -window 1 -skip-sensitivity -json ci/baseline.json > /dev/null
+
+# Resilience smoke: run the fault-injection scenarios (fault storm, IOVA
+# scan, queue stall, pool squeeze) at fixed seed and gate the artifact
+# against the committed chaos baseline, exactly like `smoke` does for the
+# paper figures. Catches regressions in containment (goodput under
+# attack), quarantine behaviour, and graceful-degradation accounting.
+chaos-smoke:
+	$(GO) run ./cmd/chaosbench -seed 1 -q -json /tmp/CHAOS_smoke.json
+	$(GO) run ./cmd/benchdiff ci/chaos-baseline.json /tmp/CHAOS_smoke.json
+
+# Regenerate the committed chaos baseline (after an intentional change to
+# the scenarios, policies, or cost model; review the diff first).
+chaos-baseline:
+	$(GO) run ./cmd/chaosbench -seed 1 -q -json ci/chaos-baseline.json
 
 # Host-side microbenchmarks of the simulation substrate (scheduler fence
 # path, page store, DMA translation). Results are host-dependent — they
@@ -82,4 +96,4 @@ cover:
 doc-check:
 	$(GO) run ./ci/doccheck
 
-ci: vet test race smoke fuzz-smoke cover doc-check
+ci: vet test race smoke chaos-smoke fuzz-smoke cover doc-check

@@ -1,0 +1,69 @@
+// Command chaosbench runs the fault-injection scenarios of
+// internal/chaos — fault storm, IOVA scan, invalidation-queue stall,
+// shadow-pool squeeze — each as a baseline / resilience / unprotected
+// triple, and reports goodput-under-attack and recovery metrics.
+//
+// Usage:
+//
+//	chaosbench [-seed 1] [-window 2] [-scenarios faultstorm,poolsqueeze]
+//	chaosbench -json chaos.json        # machine-readable artifact
+//
+// Every scenario is deterministic for a given seed, so the JSON artifact
+// is regression-gated in CI with cmd/benchdiff against
+// ci/chaos-baseline.json (`make chaos-smoke`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/report"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic scenario seed")
+	window := flag.Float64("window", 2, "simulated milliseconds per variant")
+	cores := flag.Int("cores", 2, "victim cores / NIC queues")
+	system := flag.String("system", "strict", "victim protection strategy (strict|copy|identity+|...)")
+	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+	jsonOut := flag.String("json", "", "write a machine-readable artifact (internal/report schema) to this path")
+	quiet := flag.Bool("q", false, "suppress the text tables")
+	flag.Parse()
+
+	cfg := chaos.Config{Seed: *seed, WindowMs: *window, Cores: *cores, System: *system}
+
+	var run []chaos.Scenario
+	if *scenarios == "all" {
+		run = chaos.Scenarios
+	} else {
+		for _, name := range strings.Split(*scenarios, ",") {
+			s, err := chaos.Find(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			run = append(run, s)
+		}
+	}
+
+	art := report.New("chaosbench", *window, cfg.Costs)
+	for _, s := range run {
+		t, err := s.Run(cfg)
+		if err != nil {
+			log.Fatalf("chaosbench: %s: %v", s.Name, err)
+		}
+		if !*quiet {
+			fmt.Println(t.String())
+		}
+		art.Add(t.Experiment())
+	}
+	if *jsonOut != "" {
+		if err := art.WriteFile(*jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chaosbench: wrote %s (%d experiments)\n", *jsonOut, len(art.Experiments))
+	}
+}

@@ -31,19 +31,22 @@ func main() {
 	backendsFlag := flag.String("backends", "", "comma-separated backend subset (default: all)")
 	replay := flag.String("replay", "", "replay a repro file instead of generating a trace")
 	reproOut := flag.String("repro", "dmafuzz-repro.json", "where to write the minimized repro on failure")
-	injectBug := flag.String("inject-bug", "", "reintroduce a bug: skipinval (strict unmap skips IOTLB invalidation)")
+	injectBug := flag.String("inject-bug", "", "reintroduce a bug: skipinval (strict unmap skips IOTLB invalidation) or spillnoinval (copy-degraded spill unmap skips invalidation)")
 	allocFail := flag.Int("alloc-fail-every", 0, "fail every Nth page allocation (fault injection)")
 	stall := flag.Uint64("stall-cycles", 0, "extra invalidation-queue latency per command (fault injection)")
+	invTimeout := flag.Uint64("inv-timeout", 0, "arm the ITE model: invalidation waits past this many cycles time out and recover (fault injection)")
 	noMinimize := flag.Bool("no-minimize", false, "skip trace minimization on failure")
 	flag.Parse()
 
-	plan := dmafuzz.FaultPlan{AllocFailEvery: *allocFail, StallCycles: *stall}
+	plan := dmafuzz.FaultPlan{AllocFailEvery: *allocFail, StallCycles: *stall, InvTimeout: *invTimeout}
 	switch *injectBug {
 	case "":
 	case "skipinval":
 		plan.SkipInval = true
+	case "spillnoinval":
+		plan.SpillNoInval = true
 	default:
-		fmt.Fprintf(os.Stderr, "dmafuzz: unknown -inject-bug %q (want: skipinval)\n", *injectBug)
+		fmt.Fprintf(os.Stderr, "dmafuzz: unknown -inject-bug %q (want: skipinval, spillnoinval)\n", *injectBug)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// variantMetrics pulls the metric map one scenario variant reported.
+func variantMetrics(t *testing.T, tb *bench.Table, variant string) map[string]float64 {
+	t.Helper()
+	for _, s := range tb.Series {
+		if s.System == variant && len(s.Points) > 0 {
+			return s.Points[0].Metrics
+		}
+	}
+	t.Fatalf("table %s has no variant %q", tb.Name, variant)
+	return nil
+}
+
+// The ISSUE's headline acceptance test: under a seeded fault storm from
+// the attacker device, the victim's goodput with resilience armed stays
+// within 10% of the no-attack baseline, and the quarantine both engages
+// and lifts (cool-down readmission) inside the window.
+func TestFaultStormContainment(t *testing.T) {
+	tb, err := FaultStorm(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variantMetrics(t, tb, "baseline")
+	res := variantMetrics(t, tb, "resilience")
+	raw := variantMetrics(t, tb, "unprotected")
+
+	if base["gbps"] <= 0 {
+		t.Fatalf("baseline produced no traffic: %v", base)
+	}
+	if res["gbps"] < 0.9*base["gbps"] {
+		t.Errorf("containment failed: resilience %.2f Gbps < 90%% of baseline %.2f Gbps",
+			res["gbps"], base["gbps"])
+	}
+	if res["quarantines"] < 1 {
+		t.Error("quarantine never engaged under the storm")
+	}
+	if res["readmits"] < 1 {
+		t.Error("quarantine never lifted (no cool-down readmission)")
+	}
+	if res["blocked_dmas"] == 0 {
+		t.Error("no DMAs rejected at the root while quarantined")
+	}
+	// The unprotected machine pays for every fault in the IRQ path and
+	// must end up measurably worse than the protected one.
+	if raw["gbps"] >= res["gbps"] {
+		t.Errorf("unprotected %.2f Gbps >= resilience %.2f Gbps; the storm did no damage",
+			raw["gbps"], res["gbps"])
+	}
+	if raw["faults"] <= res["faults"] {
+		t.Errorf("quarantine should shed faults: unprotected %v <= resilience %v",
+			raw["faults"], res["faults"])
+	}
+	// Bounded fault memory: the unprotected ring overflows (and that is
+	// all that happens — the machine survives).
+	if raw["faultring_overflow"] == 0 {
+		t.Error("a storm this size must overflow the bounded ring")
+	}
+}
+
+func TestFaultStormDeterminism(t *testing.T) {
+	a, err := FaultStorm(Config{Seed: 7, WindowMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultStorm(Config{Seed: 7, WindowMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"baseline", "resilience", "unprotected"} {
+		ma, mb := variantMetrics(t, a, v), variantMetrics(t, b, v)
+		if !reflect.DeepEqual(ma, mb) {
+			t.Errorf("%s: same seed, different metrics:\n  %v\n  %v", v, ma, mb)
+		}
+	}
+}
+
+func TestIOVAScanBounded(t *testing.T) {
+	tb, err := IOVAScan(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := variantMetrics(t, tb, "resilience")
+	raw := variantMetrics(t, tb, "unprotected")
+	if raw["scan_hits"] == 0 {
+		t.Fatal("unprotected scanner found nothing; the scenario lost its teeth")
+	}
+	if res["scan_hits"] >= raw["scan_hits"] {
+		t.Errorf("quarantine should bound reconnaissance: resilience hits %v >= unprotected %v",
+			res["scan_hits"], raw["scan_hits"])
+	}
+	if res["scan_blocked"] == 0 || res["quarantines"] < 1 {
+		t.Errorf("scanner was never quarantined: blocked=%v quarantines=%v",
+			res["scan_blocked"], res["quarantines"])
+	}
+}
+
+func TestQueueStallRecovery(t *testing.T) {
+	tb, err := QueueStall(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variantMetrics(t, tb, "baseline")
+	res := variantMetrics(t, tb, "resilience")
+	raw := variantMetrics(t, tb, "unprotected")
+	if res["invq_timeouts"] == 0 || res["invq_recoveries"] == 0 {
+		t.Errorf("ITE path never exercised: timeouts=%v recoveries=%v",
+			res["invq_timeouts"], res["invq_recoveries"])
+	}
+	if raw["invq_timeouts"] != 0 {
+		t.Errorf("unprotected (Timeout=0) must never time out, got %v", raw["invq_timeouts"])
+	}
+	if res["gbps"] <= raw["gbps"] {
+		t.Errorf("ITE recovery should beat riding out the stall: %.2f <= %.2f",
+			res["gbps"], raw["gbps"])
+	}
+	if res["gbps"] >= base["gbps"] {
+		t.Errorf("a real stall must cost something: resilience %.2f >= baseline %.2f",
+			res["gbps"], base["gbps"])
+	}
+}
+
+func TestPoolSqueezeGracefulDegradation(t *testing.T) {
+	tb, err := PoolSqueeze(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variantMetrics(t, tb, "baseline")
+	res := variantMetrics(t, tb, "resilience")
+	raw := variantMetrics(t, tb, "unprotected")
+	if base["datapath_dead"] != 0 {
+		t.Fatal("baseline died; the squeeze scenario is broken")
+	}
+	// The acceptance bar: pool exhaustion no longer kills the datapath.
+	if res["datapath_dead"] != 0 {
+		t.Error("datapath died despite the degradation ladder")
+	}
+	if res["gbps"] <= 0 {
+		t.Error("no goodput under pressure; degradation is not graceful")
+	}
+	if res["degraded_spills"] == 0 && res["degraded_retries"] == 0 {
+		t.Error("ladder never engaged; the squeeze missed the pool")
+	}
+	if res["resilience_cycles"] == 0 {
+		t.Error("ladder work invisible to the profiler (no resilience.* span cycles)")
+	}
+	// Without the ladder the same pressure is fatal.
+	if raw["datapath_dead"] != 1 {
+		t.Error("unprotected variant survived; exhaustion should be a hard failure there")
+	}
+}

@@ -54,7 +54,7 @@ func (s *ShadowMapper) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) e
 	q := env.IOMMU.Queue
 	q.Lock.Lock(p)
 	done := q.SubmitPages(p, env.Dev, addr.Page(), uint64(pages))
-	q.WaitFor(p, done)
+	q.WaitRecover(p, done)
 	q.Lock.Unlock(p)
 	if p.Observed() {
 		p.SpanExit()

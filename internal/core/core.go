@@ -62,6 +62,12 @@ type ShadowMapper struct {
 	extAlloc  *iova.MagazineAllocator
 	pageCache [][]mem.Phys // per-core cache of head/tail shadow pages
 
+	// Degradation-ladder state (see degrade.go): configuration plus the
+	// table of live rung-2 spill mappings.
+	degrade DegradeConfig
+	spLock  *sim.Spinlock
+	spills  map[iommu.IOVA]*spillMapping
+
 	coherent int // outstanding coherent allocations
 	stats    dmaapi.Stats
 }
@@ -87,6 +93,9 @@ func NewShadowMapper(env *dmaapi.Env, opts ...Option) (*ShadowMapper, error) {
 		// from the pool's fallback region (low end).
 		extAlloc:  iova.NewMagazine(env.Cores, 1<<34, 1<<35, 64),
 		pageCache: make([][]mem.Phys, env.Cores),
+		degrade:   defaultDegrade(),
+		spLock:    env.NewLock("spill"),
+		spills:    make(map[iommu.IOVA]*spillMapping),
 	}
 	for _, o := range opts {
 		o(s)
@@ -139,8 +148,18 @@ func (s *ShadowMapper) Map(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iommu.IOVA
 	}
 	meta, err := s.pool.Acquire(p, buf, buf.Size, dir.Perm())
 	if err != nil {
+		if isExhausted(err) && !s.degrade.Disable {
+			return s.mapDegraded(p, buf, dir, err)
+		}
 		return 0, err
 	}
+	return s.finishPoolMap(p, meta, buf, dir)
+}
+
+// finishPoolMap completes a Map whose shadow buffer was acquired: copy-in
+// for device-readable data, then stats. Shared by the fast path and the
+// ladder's retry rung.
+func (s *ShadowMapper) finishPoolMap(p *sim.Proc, meta *shadow.Meta, buf mem.Buf, dir dmaapi.Dir) (iommu.IOVA, error) {
 	if dir == dmaapi.ToDevice || dir == dmaapi.Bidirectional {
 		if err := s.copyBytes(p, buf.Addr, meta.Shadow().Addr, buf.Size); err != nil {
 			s.pool.Release(p, meta)
@@ -166,6 +185,9 @@ func (s *ShadowMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir dmaapi.
 		s.hyLock.Unlock(p)
 		if isHybrid {
 			return s.unmapHybrid(p, addr, size, dir)
+		}
+		if sp := s.lookupSpill(p, addr); sp != nil {
+			return s.unmapSpill(p, addr, size, dir)
 		}
 	}
 	meta, err := s.pool.Find(p, addr)
@@ -253,7 +275,7 @@ func (s *ShadowMapper) Stats() dmaapi.Stats {
 func (s *ShadowMapper) Accounting() dmaapi.Accounting {
 	ps := s.pool.Stats()
 	return dmaapi.Accounting{
-		LiveMappings:  int(ps.Acquires-ps.Releases) + len(s.hybrids),
+		LiveMappings:  int(ps.Acquires-ps.Releases) + len(s.hybrids) + len(s.spills),
 		LiveCoherent:  s.coherent,
 		IOVAPagesHeld: s.extAlloc.Outstanding(),
 	}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/dmaapi"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+)
+
+// isExhausted reports whether err is the pool-pressure signal the ladder
+// reacts to; any other acquire failure stays a hard error.
+func isExhausted(err error) bool { return errors.Is(err, shadow.ErrPoolExhausted) }
+
+// Graceful degradation under shadow-pool pressure (the resilience ladder).
+// Before this, shadow.ErrPoolExhausted was a hard Map failure: one dry pool
+// and the datapath stopped. Now exhaustion is a policy decision with three
+// rungs, each trading a little performance for continued service:
+//
+//	rung 1  bounded retry: spin a short doubling backoff and re-acquire —
+//	        transient pressure (a concurrent Trim, a burst) usually clears.
+//	rung 2  strict spill: map the OS buffer itself, page-granular, through
+//	        the IOMMU — the slow path the paper's copy strategy exists to
+//	        avoid (per-map IOVA allocation, PTE writes, and a strict
+//	        invalidation at unmap), but it keeps data flowing with strict
+//	        protection; only the sub-page byte-granularity guarantee is
+//	        given up while degraded.
+//	rung 3  backpressure: refuse the map with dmaapi.ErrBackpressure so
+//	        the driver sheds load (drops the packet) instead of failing.
+//
+// All rungs are observable: resilience.* spans in cycle reports and the
+// Degraded*/Backpressure counters in dmaapi.Stats.
+
+// DegradeConfig parameterizes the ladder. The zero value (see
+// defaultDegrade) keeps the ladder armed with sane bounds; set Disable to
+// restore the old hard-failure behaviour.
+type DegradeConfig struct {
+	// Disable turns the ladder off: pool exhaustion fails the Map.
+	Disable bool
+	// MaxRetries bounds rung 1's re-acquire attempts.
+	MaxRetries int
+	// RetryBackoff is rung 1's initial backoff in cycles (doubles per
+	// attempt). The wait is a spin: the core is burning cycles for the
+	// pool to refill, and the cost must be visible in profiles.
+	RetryBackoff uint64
+	// MaxSpills bounds concurrent rung-2 spill mappings; beyond it the
+	// ladder jumps straight to backpressure.
+	MaxSpills int
+	// SkipSpillInval is a bug-reintroduction switch for the fuzzer
+	// (-inject-bug spillnoinval): spill unmaps skip the strict IOTLB
+	// invalidation, opening the classic deferred vulnerability window on
+	// the spill path. Never set outside tests.
+	SkipSpillInval bool
+}
+
+func defaultDegrade() DegradeConfig {
+	return DegradeConfig{MaxRetries: 2, RetryBackoff: 4096, MaxSpills: 1 << 16}
+}
+
+// WithDegrade overrides the degradation-ladder configuration.
+func WithDegrade(cfg DegradeConfig) Option {
+	return func(s *ShadowMapper) {
+		if cfg.MaxRetries < 0 {
+			cfg.MaxRetries = 0
+		}
+		if cfg.MaxSpills <= 0 {
+			cfg.MaxSpills = 1 << 16
+		}
+		if cfg.RetryBackoff == 0 {
+			cfg.RetryBackoff = 4096
+		}
+		s.degrade = cfg
+	}
+}
+
+// spillMapping is one rung-2 mapping: the OS buffer mapped directly,
+// page-granular, with strict unmap semantics.
+type spillMapping struct {
+	base  iommu.IOVA // page-aligned start of the IOVA range
+	osBuf mem.Buf
+	dir   dmaapi.Dir
+	pages int
+}
+
+// mapDegraded runs the ladder after the pool reported exhaustion.
+func (s *ShadowMapper) mapDegraded(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir, cause error) (iommu.IOVA, error) {
+	// Rung 1: bounded retry with doubling backoff.
+	backoff := s.degrade.RetryBackoff
+	for i := 0; i < s.degrade.MaxRetries; i++ {
+		s.stats.DegradedRetries++
+		if p.Observed() {
+			p.SpanEnter("resilience.retry")
+		}
+		p.SpinUntil(cycles.TagOther, p.Now()+backoff)
+		if p.Observed() {
+			p.SpanExit()
+		}
+		backoff *= 2
+		meta, err := s.pool.Acquire(p, buf, buf.Size, dir.Perm())
+		if err == nil {
+			return s.finishPoolMap(p, meta, buf, dir)
+		}
+		if !isExhausted(err) {
+			return 0, err
+		}
+		cause = err
+	}
+	// Rung 2: strict per-buffer spill.
+	addr, err := s.mapSpill(p, buf, dir)
+	if err == nil {
+		return addr, nil
+	}
+	// Rung 3: backpressure — cheap refusal, caller sheds load.
+	s.stats.BackpressureFails++
+	return 0, fmt.Errorf("copy: ladder exhausted (pool: %v; spill: %v): %w",
+		cause, err, dmaapi.ErrBackpressure)
+}
+
+// mapSpill installs a rung-2 mapping: the OS buffer's pages mapped
+// directly through the IOMMU at a fresh IOVA range from the external
+// allocator. The device operates on the OS buffer itself, so data is
+// byte-identical to the healthy copy path; what is lost is sub-page
+// granularity (siblings on the first/last page become reachable) and the
+// zero-invalidation unmap.
+func (s *ShadowMapper) mapSpill(p *sim.Proc, buf mem.Buf, dir dmaapi.Dir) (iommu.IOVA, error) {
+	env := s.env
+	if p.Observed() {
+		p.SpanEnter("resilience.spill")
+		defer p.SpanExit()
+	}
+	s.spLock.Lock(p)
+	n := len(s.spills)
+	s.spLock.Unlock(p)
+	if n >= s.degrade.MaxSpills {
+		return 0, fmt.Errorf("copy: spill table full (%d live)", n)
+	}
+	pages := dmaapi.PagesOf(uint64(buf.Addr), buf.Size)
+	p.ChargeSpan("iova-alloc", cycles.TagIOVA, env.Costs.MagazineAlloc)
+	base, err := s.extAlloc.Alloc(p.Core(), pages)
+	if err != nil {
+		return 0, err
+	}
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, env.Costs.PTMap+env.Costs.PTPerPage*uint64(pages-1))
+	if err := env.IOMMU.Map(env.Dev, base, buf.Addr.PageBase(), pages*mem.PageSize, dir.Perm()); err != nil {
+		_ = s.extAlloc.Free(p.Core(), base, pages)
+		return 0, err
+	}
+	addr := base + iommu.IOVA(buf.Addr.Offset())
+	// Spill-table bookkeeping, charged to the resilience span itself.
+	p.Charge(cycles.TagOther, env.Costs.ShadowFind)
+	s.spLock.Lock(p)
+	s.spills[addr] = &spillMapping{base: base, osBuf: buf, dir: dir, pages: pages}
+	s.spLock.Unlock(p)
+	s.stats.DegradedSpills++
+	s.stats.Maps++
+	s.stats.BytesMapped += uint64(buf.Size)
+	return addr, nil
+}
+
+// lookupSpill returns the spill mapping at addr, if any.
+func (s *ShadowMapper) lookupSpill(p *sim.Proc, addr iommu.IOVA) *spillMapping {
+	if len(s.spills) == 0 {
+		return nil
+	}
+	s.spLock.Lock(p)
+	sp := s.spills[addr]
+	s.spLock.Unlock(p)
+	return sp
+}
+
+// unmapSpill tears down a rung-2 mapping: clear the PTEs and strictly
+// invalidate (spills are zero-copy, so unlike the pool path the IOTLB
+// MUST be flushed before the pages are reused — unless the spillnoinval
+// bug switch deliberately reopens that window for the fuzzer).
+func (s *ShadowMapper) unmapSpill(p *sim.Proc, addr iommu.IOVA, size int, dir dmaapi.Dir) error {
+	env := s.env
+	s.spLock.Lock(p)
+	sp := s.spills[addr]
+	delete(s.spills, addr)
+	s.spLock.Unlock(p)
+	if sp == nil {
+		return fmt.Errorf("copy: spill unmap of unknown %#x", uint64(addr))
+	}
+	if sp.dir != dir || sp.osBuf.Size != size {
+		return fmt.Errorf("copy: spill unmap mismatch (dir %v size %d vs map %v %d)",
+			dir, size, sp.dir, sp.osBuf.Size)
+	}
+	if p.Observed() {
+		p.SpanEnter("resilience.spill")
+		defer p.SpanExit()
+	}
+	p.ChargeSpan("ptes", cycles.TagPTMgmt, env.Costs.PTUnmap+env.Costs.PTPerPage*uint64(sp.pages-1))
+	if err := env.IOMMU.Unmap(env.Dev, sp.base, sp.pages*mem.PageSize); err != nil {
+		return err
+	}
+	if !s.degrade.SkipSpillInval {
+		if p.Observed() {
+			p.SpanEnter("inval")
+		}
+		q := env.IOMMU.Queue
+		q.Lock.Lock(p)
+		done := q.SubmitPages(p, env.Dev, sp.base.Page(), uint64(sp.pages))
+		q.WaitRecover(p, done)
+		q.Lock.Unlock(p)
+		if p.Observed() {
+			p.SpanExit()
+		}
+	}
+	p.ChargeSpan("iova-free", cycles.TagIOVA, env.Costs.MagazineAlloc)
+	if err := s.extAlloc.Free(p.Core(), sp.base, sp.pages); err != nil {
+		return err
+	}
+	s.stats.Unmaps++
+	return nil
+}
+
+// syncSpill: spills are zero-copy, so syncs are cache maintenance only.
+func (s *ShadowMapper) syncSpill(p *sim.Proc, sp *spillMapping, size int) error {
+	if size > sp.osBuf.Size {
+		return fmt.Errorf("copy: spill sync size %d exceeds mapping %d", size, sp.osBuf.Size)
+	}
+	p.ChargeSpan("sync", cycles.TagOther, s.env.Costs.SyncMaint)
+	return nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/dmaapi"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+)
+
+// tinyPool hard-bounds the shadow pool to `perClass` buffers per class so
+// tests can exhaust it deterministically.
+func tinyPool(t *testing.T, perClass uint64, opts ...Option) *rig {
+	t.Helper()
+	return newRig(t, 1, append([]Option{WithPoolConfig(shadow.Config{
+		SizeClasses:     []int{4096},
+		MaxPerClass:     perClass,
+		Cores:           1,
+		Domains:         2,
+		DomainOfCore:    func(int) int { return 0 },
+		DisableFallback: true,
+	})}, opts...)...)
+}
+
+func TestDegradeRetrySelfHeals(t *testing.T) {
+	r := newRig(t, 1)
+	buf := r.alloc(t, 3000)
+	r.run(t, func(p *sim.Proc) {
+		// A one-shot allocation failure: the first grow fails, the retry
+		// rung's re-acquire succeeds. The caller never sees an error.
+		n := 0
+		r.env.Mem.AllocFail = func(domain, pages int) bool {
+			n++
+			return n == 1
+		}
+		addr, err := r.s.Map(p, buf, dmaapi.ToDevice)
+		r.env.Mem.AllocFail = nil
+		if err != nil {
+			t.Fatalf("transient exhaustion should self-heal: %v", err)
+		}
+		st := r.s.Stats()
+		if st.DegradedRetries == 0 || st.DegradedSpills != 0 {
+			t.Errorf("retries=%d spills=%d, want retry rung only", st.DegradedRetries, st.DegradedSpills)
+		}
+		// The healed mapping is an ordinary pool mapping: full round-trip.
+		if err := r.s.Unmap(p, addr, buf.Size, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+		if acct := r.s.Accounting(); !acct.Zero() {
+			t.Errorf("leak after healed map: %+v", acct)
+		}
+	})
+}
+
+func TestDegradeSpillRoundTrip(t *testing.T) {
+	r := tinyPool(t, 1, WithDegrade(DegradeConfig{MaxRetries: 0, MaxSpills: 8}))
+	hold := r.alloc(t, 1500) // occupies the pool's only buffer
+	buf := r.alloc(t, 1500)
+	payload := bytes.Repeat([]byte("sp"), 750)
+	if err := r.env.Mem.Write(buf.Addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, func(p *sim.Proc) {
+		holdAddr, err := r.s.Map(p, hold, dmaapi.ToDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := r.s.Map(p, buf, dmaapi.ToDevice)
+		if err != nil {
+			t.Fatalf("exhausted pool should spill, not fail: %v", err)
+		}
+		if r.s.Stats().DegradedSpills != 1 {
+			t.Fatalf("spills = %d, want 1", r.s.Stats().DegradedSpills)
+		}
+		// A spill is zero-copy: the device reads the OS buffer itself.
+		got := make([]byte, 1500)
+		if res := r.env.IOMMU.DMARead(r.env.Dev, addr, got); res.Fault != nil {
+			t.Fatal(res.Fault)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("device read wrong data through spill mapping")
+		}
+		if err := r.s.SyncForDevice(p, addr, buf.Size, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+		// Spill unmap strictly invalidates: the device must fault on the
+		// torn-down IOVA afterwards.
+		if err := r.s.Unmap(p, addr, buf.Size, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+		if res := r.env.IOMMU.DMARead(r.env.Dev, addr, got); res.Fault == nil {
+			t.Error("torn-down spill IOVA must fault")
+		}
+		if err := r.s.Unmap(p, holdAddr, hold.Size, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDegradeBackpressureAtMaxSpills(t *testing.T) {
+	r := tinyPool(t, 1, WithDegrade(DegradeConfig{MaxRetries: 0, MaxSpills: 1}))
+	hold := r.alloc(t, 1500)
+	b1 := r.alloc(t, 1500)
+	b2 := r.alloc(t, 1500)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.s.Map(p, hold, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+		a1, err := r.s.Map(p, b1, dmaapi.ToDevice) // rung 2: the one allowed spill
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.s.Map(p, b2, dmaapi.ToDevice) // rung 3: table full
+		if !errors.Is(err, dmaapi.ErrBackpressure) {
+			t.Fatalf("full spill table should backpressure, got %v", err)
+		}
+		st := r.s.Stats()
+		if st.BackpressureFails != 1 || st.DegradedSpills != 1 {
+			t.Errorf("backpressure=%d spills=%d, want 1/1", st.BackpressureFails, st.DegradedSpills)
+		}
+		// Backpressure is recoverable: free the spill, the next map spills
+		// again instead of failing.
+		if err := r.s.Unmap(p, a1, b1.Size, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.s.Map(p, b2, dmaapi.ToDevice); err != nil {
+			t.Fatalf("map after spill slot freed: %v", err)
+		}
+	})
+}
+
+func TestDegradeDisabledFailsHard(t *testing.T) {
+	r := tinyPool(t, 1, WithDegrade(DegradeConfig{Disable: true}))
+	hold := r.alloc(t, 1500)
+	buf := r.alloc(t, 1500)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.s.Map(p, hold, dmaapi.ToDevice); err != nil {
+			t.Fatal(err)
+		}
+		_, err := r.s.Map(p, buf, dmaapi.ToDevice)
+		if !errors.Is(err, shadow.ErrPoolExhausted) {
+			t.Fatalf("disabled ladder should surface ErrPoolExhausted, got %v", err)
+		}
+		if st := r.s.Stats(); st.DegradedRetries != 0 || st.DegradedSpills != 0 {
+			t.Errorf("disabled ladder must not run: %+v", st)
+		}
+	})
+}
+
+func TestSpillUnmapInvalidation(t *testing.T) {
+	// With proper unmap the device faults on the torn-down spill IOVA;
+	// with the spillnoinval bug switch the stale IOTLB entry stays live —
+	// the classic deferred-invalidation vulnerability window, reintroduced
+	// deliberately for the fuzzer's oracle to catch.
+	for _, skip := range []bool{false, true} {
+		r := tinyPool(t, 1, WithDegrade(DegradeConfig{MaxRetries: 0, MaxSpills: 8, SkipSpillInval: skip}))
+		hold := r.alloc(t, 1500)
+		buf := r.alloc(t, 1500)
+		r.run(t, func(p *sim.Proc) {
+			if _, err := r.s.Map(p, hold, dmaapi.ToDevice); err != nil {
+				t.Fatal(err)
+			}
+			addr, err := r.s.Map(p, buf, dmaapi.FromDevice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the IOTLB through the spill mapping.
+			if res := r.env.IOMMU.DMAWrite(r.env.Dev, addr, make([]byte, 64)); res.Fault != nil {
+				t.Fatal(res.Fault)
+			}
+			if err := r.s.Unmap(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
+				t.Fatal(err)
+			}
+			res := r.env.IOMMU.DMAWrite(r.env.Dev, addr, make([]byte, 64))
+			if skip && res.Fault != nil {
+				t.Error("spillnoinval: stale IOTLB entry should still translate (bug window)")
+			}
+			if !skip && res.Fault == nil {
+				t.Error("spill unmap must strictly invalidate; post-unmap DMA succeeded")
+			}
+		})
+	}
+}

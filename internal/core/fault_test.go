@@ -15,6 +15,10 @@ import (
 
 func TestShadowSGUnwindsUnderAllocFail(t *testing.T) {
 	r := newRig(t, 1)
+	// Disable the degradation ladder: this test is about the unwind of a
+	// hard pool failure, which the ladder would otherwise absorb (the
+	// retry rung re-acquires after the one-shot injected failure).
+	r.s.degrade = DegradeConfig{Disable: true}
 	// Buffers large enough that each SG element needs a fresh pool grow
 	// (nothing free-listed yet), so the injected failure lands mid-list.
 	bufs := []mem.Buf{r.alloc(t, 3000), r.alloc(t, 3000), r.alloc(t, 3000)}

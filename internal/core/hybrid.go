@@ -170,7 +170,7 @@ func (s *ShadowMapper) unmapHybrid(p *sim.Proc, addr iommu.IOVA, size int, dir d
 	q := env.IOMMU.Queue
 	q.Lock.Lock(p)
 	done := q.SubmitPages(p, env.Dev, hm.base.Page(), uint64(hm.pages))
-	q.WaitFor(p, done)
+	q.WaitRecover(p, done)
 	q.Lock.Unlock(p)
 	if p.Observed() {
 		p.SpanExit()

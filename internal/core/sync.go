@@ -23,6 +23,11 @@ func (s *ShadowMapper) SyncForCPU(p *sim.Proc, addr iommu.IOVA, size int, dir dm
 	if hm := s.lookupHybrid(p, addr); hm != nil {
 		return s.syncHybrid(p, hm, size, dir, true)
 	}
+	if !shadow.IsShadow(addr) {
+		if sp := s.lookupSpill(p, addr); sp != nil {
+			return s.syncSpill(p, sp, size)
+		}
+	}
 	meta, err := s.pool.Find(p, addr)
 	if err != nil {
 		return err
@@ -45,6 +50,11 @@ func (s *ShadowMapper) SyncForCPU(p *sim.Proc, addr iommu.IOVA, size int, dir dm
 func (s *ShadowMapper) SyncForDevice(p *sim.Proc, addr iommu.IOVA, size int, dir dmaapi.Dir) error {
 	if hm := s.lookupHybrid(p, addr); hm != nil {
 		return s.syncHybrid(p, hm, size, dir, false)
+	}
+	if !shadow.IsShadow(addr) {
+		if sp := s.lookupSpill(p, addr); sp != nil {
+			return s.syncSpill(p, sp, size)
+		}
 	}
 	meta, err := s.pool.Find(p, addr)
 	if err != nil {

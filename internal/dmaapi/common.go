@@ -136,7 +136,7 @@ func (f *flushQueue) flushLocked(p *sim.Proc) {
 	q := f.env.IOMMU.Queue
 	q.Lock.Lock(p)
 	done := q.SubmitGlobal(p)
-	q.WaitFor(p, done)
+	q.WaitRecover(p, done)
 	q.Lock.Unlock(p)
 	if p.Observed() {
 		p.SpanExit()

@@ -23,6 +23,14 @@ import (
 	"repro/internal/sim"
 )
 
+// ErrBackpressure is returned by Map when every rung of a mapper's
+// pressure-degradation ladder failed (retry, then strict spill): the
+// mapping is refused cheaply and the caller should shed load — drop the
+// packet, let ring credits run down — and try again later, rather than
+// treat the condition as fatal. Matched with errors.Is; see
+// doc/RESILIENCE.md for the ladder.
+var ErrBackpressure = fmt.Errorf("dmaapi: mapping refused under backpressure")
+
 // Dir is the DMA direction, from the CPU's point of view (as in the Linux
 // DMA API).
 type Dir uint8
@@ -154,6 +162,11 @@ type Stats struct {
 	ShadowPoolBuffers  uint64
 	ShadowGrows        uint64
 	CopyHintBytesSaved uint64
+	// Degradation-ladder counters (copy strategy under pool pressure;
+	// zero unless the ladder is enabled and the pool ran dry).
+	DegradedRetries   uint64 // rung 1: bounded acquire retries
+	DegradedSpills    uint64 // rung 2: strict per-buffer spill maps
+	BackpressureFails uint64 // rung 3: maps refused with ErrBackpressure
 }
 
 // Env bundles the simulated machine a Mapper operates on.

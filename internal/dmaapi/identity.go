@@ -192,7 +192,7 @@ func (m *IdentityMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) 
 		q := m.env.IOMMU.Queue
 		q.Lock.Lock(p)
 		done := q.SubmitPages(p, m.env.Dev, first, uint64(pages))
-		q.WaitFor(p, done)
+		q.WaitRecover(p, done)
 		q.Lock.Unlock(p)
 		if p.Observed() {
 			p.SpanExit()

@@ -126,7 +126,7 @@ func (m *LinuxMapper) Unmap(p *sim.Proc, addr iommu.IOVA, size int, dir Dir) err
 		q := m.env.IOMMU.Queue
 		q.Lock.Lock(p)
 		done := q.SubmitPages(p, m.env.Dev, base.Page(), uint64(pages))
-		q.WaitFor(p, done)
+		q.WaitRecover(p, done)
 		q.Lock.Unlock(p)
 		if p.Observed() {
 			p.SpanExit()
@@ -187,7 +187,7 @@ func (m *LinuxMapper) FreeCoherent(p *sim.Proc, addr iommu.IOVA, buf mem.Buf) er
 	q := m.env.IOMMU.Queue
 	q.Lock.Lock(p)
 	done := q.SubmitPages(p, m.env.Dev, addr.Page(), uint64(pages))
-	q.WaitFor(p, done)
+	q.WaitRecover(p, done)
 	q.Lock.Unlock(p)
 	if p.Observed() {
 		p.SpanExit()

@@ -17,7 +17,7 @@ import (
 // is trivially insecure, so neither oracle family applies.
 var Backends = []string{
 	"strict", "defer", "identity+", "identity-", "selfinval",
-	"swiotlb", "copy", "copy-hybrid",
+	"swiotlb", "copy", "copy-hybrid", "copy-degraded",
 }
 
 // selfInvalTTL is the self-invalidation TTL used for the selfinval
@@ -46,6 +46,17 @@ type FaultPlan struct {
 	// skips synchronous IOTLB invalidation on unmap, opening a
 	// deferred-style window the security oracle must catch.
 	SkipInval bool
+	// InvTimeout arms the invalidation queue's ITE model on every
+	// backend: waits past this many cycles surface iommu.ErrInvTimeout
+	// and run the retry/recover pipeline. Combined with StallCycles this
+	// exercises recovery under a stalled queue; invariants must hold
+	// because recovery over-invalidates (never under-invalidates).
+	InvTimeout uint64
+	// SpillNoInval is the second reintroduced bug (-inject-bug
+	// spillnoinval): the copy-degraded backend's spill unmaps skip the
+	// strict invalidation, opening a stale window on the spill path that
+	// the security oracle must catch.
+	SpillNoInval bool
 }
 
 // profile is the per-backend security expectation: which paper-predicted
@@ -58,10 +69,15 @@ type profile struct {
 	// windowRequired: with eligible probes present, at least one must
 	// observe the window (it is a prediction, not just a tolerance).
 	windowRequired bool
-	// subPageLeak: a device may read kmalloc data co-located on a mapped
-	// page (all zero-copy page-granular designs); also required when
-	// eligible probes exist.
-	subPageLeak bool
+	// subPageAllowed: a device may read kmalloc data co-located on a
+	// mapped page (zero-copy page-granular designs).
+	subPageAllowed bool
+	// subPageRequired: with eligible probes present, at least one leak
+	// must be observed (a prediction, not just a tolerance). Allowed but
+	// not required fits backends where only SOME mappings are
+	// page-granular — copy-degraded's spill path — so whether a given
+	// probe leaks depends on which path served its mapping.
+	subPageRequired bool
 	// arbitrary: device access to never-mapped memory succeeds (swiotlb
 	// runs in passthrough); also required when attempted.
 	arbitrary bool
@@ -70,15 +86,23 @@ type profile struct {
 func profileFor(backend string) profile {
 	switch backend {
 	case "strict", "identity+":
-		return profile{subPageLeak: true}
+		return profile{subPageAllowed: true, subPageRequired: true}
 	case "defer", "identity-", "selfinval":
-		return profile{windowAllowed: true, windowRequired: true, subPageLeak: true}
+		return profile{windowAllowed: true, windowRequired: true,
+			subPageAllowed: true, subPageRequired: true}
 	case "swiotlb":
 		// Stale and sub-page probes land in the bounce arena (contained,
 		// ironically), but arbitrary physical access always succeeds.
 		return profile{arbitrary: true}
 	case "copy", "copy-hybrid":
 		return profile{}
+	case "copy-degraded":
+		// The starved pool spills most mappings to the strict page-
+		// granular slow path: sub-page leaks become possible (allowed,
+		// not required — pool-served mappings still contain them), but
+		// the stale window stays closed (spill unmaps invalidate
+		// strictly) and data results stay byte-identical to copy.
+		return profile{subPageAllowed: true}
 	}
 	return profile{}
 }
@@ -105,6 +129,7 @@ func newMachine(backend string, tr *Trace, plan FaultPlan) (*machine, error) {
 	m := mem.New(2)
 	u := iommu.New(eng, m, cycles.Default())
 	u.Queue.StallCycles = plan.StallCycles
+	u.Queue.Timeout = plan.InvTimeout
 	env := &dmaapi.Env{Eng: eng, Mem: m, IOMMU: u, Costs: cycles.Default(), Dev: fuzzDev, Cores: 2}
 
 	var mapper dmaapi.Mapper
@@ -125,7 +150,12 @@ func newMachine(backend string, tr *Trace, plan FaultPlan) (*machine, error) {
 	case "swiotlb":
 		mapper = dmaapi.NewSWIOTLB(env)
 	case "copy":
-		mapper, err = core.NewShadowMapper(env)
+		// The healthy reference for the copy strategy: the degradation
+		// ladder is disabled so injected allocation failures keep their
+		// historical hard-failure semantics (the ladder would otherwise
+		// absorb them and blur the profile).
+		mapper, err = core.NewShadowMapper(env,
+			core.WithDegrade(core.DegradeConfig{Disable: true}))
 	case "copy-hybrid":
 		// A lowered max class (16 KiB) so the generator's large buffers
 		// exercise the huge-buffer hybrid path.
@@ -135,6 +165,24 @@ func newMachine(backend string, tr *Trace, plan FaultPlan) (*machine, error) {
 			Cores:        env.Cores,
 			Domains:      m.Domains(),
 			DomainOfCore: env.DomainOfCore,
+		}), core.WithDegrade(core.DegradeConfig{Disable: true}))
+	case "copy-degraded":
+		// A deterministically starved pool — 4 metadata slots per
+		// (domain, class) and no fallback — so nearly every Map runs the
+		// degradation ladder and is served by the strict spill path.
+		// Results must stay byte-identical to the healthy copy backend;
+		// only the costs and the sub-page granularity differ.
+		mapper, err = core.NewShadowMapper(env, core.WithPoolConfig(shadow.Config{
+			SizeClasses:     []int{4096, 65536},
+			MaxPerClass:     4,
+			Cores:           env.Cores,
+			Domains:         m.Domains(),
+			DomainOfCore:    env.DomainOfCore,
+			DisableFallback: true,
+		}), core.WithDegrade(core.DegradeConfig{
+			MaxRetries:     1,
+			RetryBackoff:   1024,
+			SkipSpillInval: plan.SpillNoInval,
 		}))
 	default:
 		return nil, fmt.Errorf("dmafuzz: unknown backend %q", backend)

@@ -22,11 +22,11 @@ func applySecurityOracle(br *BackendResult, plan FaultPlan) {
 			sec.StaleEligible)
 	}
 
-	if !prof.subPageLeak && sec.SubPageObserved > 0 {
+	if !prof.subPageAllowed && sec.SubPageObserved > 0 {
 		br.violatef("security: %d sub-page sibling reads leaked co-located data (byte-granular backend)",
 			sec.SubPageObserved)
 	}
-	if prof.subPageLeak && sec.SubPageEligible > 0 && sec.SubPageObserved == 0 {
+	if prof.subPageRequired && sec.SubPageEligible > 0 && sec.SubPageObserved == 0 {
 		br.violatef("security: predicted sub-page leak never observed (%d eligible probes)",
 			sec.SubPageEligible)
 	}

@@ -1,0 +1,233 @@
+package iommu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// The regression this file guards: fault storage used to be an unbounded
+// slice, so a hostile device firing faults grew host memory without limit.
+// The ring must stay at its fixed capacity no matter how many faults land.
+func TestFaultRingBoundedUnderMillionFaults(t *testing.T) {
+	_, _, u := setup()
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		// Unmapped IOVA, distinct per fault: straight through fault().
+		u.fault(9, IOVA(uint64(i)<<mem.PageShift), PermWrite, "storm")
+	}
+	ring := u.FaultRing()
+	if ring.Len() != DefaultFaultRingCap {
+		t.Fatalf("ring len = %d, want capacity %d", ring.Len(), DefaultFaultRingCap)
+	}
+	if got := len(u.Faults()); got != DefaultFaultRingCap {
+		t.Fatalf("Faults() len = %d, want %d", got, DefaultFaultRingCap)
+	}
+	if ring.Recorded() != n {
+		t.Errorf("recorded = %d, want %d", ring.Recorded(), n)
+	}
+	if want := uint64(n - DefaultFaultRingCap); ring.Overflow() != want {
+		t.Errorf("overflow = %d, want %d", ring.Overflow(), want)
+	}
+	// Overwrite-oldest: the snapshot holds the newest capacity-many
+	// faults, oldest first.
+	snap := ring.Snapshot()
+	first := uint64(n - DefaultFaultRingCap)
+	if snap[0].Addr.Page() != first {
+		t.Errorf("oldest retained fault page = %#x, want %#x", snap[0].Addr.Page(), first)
+	}
+	if snap[len(snap)-1].Addr.Page() != n-1 {
+		t.Errorf("newest retained fault page = %#x, want %#x", snap[len(snap)-1].Addr.Page(), uint64(n-1))
+	}
+	if u.FaultCount != n {
+		t.Errorf("FaultCount = %d, want %d", u.FaultCount, n)
+	}
+}
+
+func TestFaultRingConsume(t *testing.T) {
+	r := NewFaultRing(4)
+	for i := 0; i < 6; i++ {
+		r.Push(Fault{Addr: IOVA(i)})
+	}
+	// 6 pushed into 4 slots: 2 overflowed, ring holds 2..5.
+	got := r.Consume(3)
+	if len(got) != 3 || got[0].Addr != 2 || got[2].Addr != 4 {
+		t.Fatalf("consume(3) = %+v", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len after consume = %d", r.Len())
+	}
+	// max <= 0 drains everything.
+	rest := r.Consume(0)
+	if len(rest) != 1 || rest[0].Addr != 5 {
+		t.Fatalf("drain = %+v", rest)
+	}
+	if r.Len() != 0 || len(r.Consume(10)) != 0 {
+		t.Error("ring should be empty")
+	}
+	// Counters survive consumption.
+	if r.Recorded() != 6 || r.Overflow() != 2 {
+		t.Errorf("recorded=%d overflow=%d, want 6/2", r.Recorded(), r.Overflow())
+	}
+}
+
+func TestSetFaultRingCap(t *testing.T) {
+	_, _, u := setup()
+	u.SetFaultRingCap(2)
+	for i := 0; i < 5; i++ {
+		u.fault(1, IOVA(uint64(i)<<mem.PageShift), PermRead, "x")
+	}
+	if got := len(u.Faults()); got != 2 {
+		t.Fatalf("faults retained = %d, want 2", got)
+	}
+	if u.FaultRing().Overflow() != 3 {
+		t.Errorf("overflow = %d, want 3", u.FaultRing().Overflow())
+	}
+}
+
+func TestBlockRejectsAtRootWithoutFaultRecord(t *testing.T) {
+	_, m, u := setup()
+	phys, _ := m.AllocPages(0, 1)
+	if err := u.Map(3, 0x5000, phys, mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the IOTLB, then block: the block must win over a cached entry.
+	if _, _, f := u.Translate(3, 0x5000, PermRead); f != nil {
+		t.Fatal(f)
+	}
+	hooked := 0
+	u.FaultHook = func(Fault) { hooked++ }
+	u.Block(3)
+	if !u.Blocked(3) || u.BlockedDevices() != 1 {
+		t.Fatal("device should be blocked")
+	}
+	faultsBefore, recBefore := u.FaultCount, u.FaultRing().Recorded()
+	_, _, f := u.Translate(3, 0x5000, PermRead)
+	if f == nil || f.Reason != "device quarantined" {
+		t.Fatalf("blocked translate fault = %+v", f)
+	}
+	// Containment must be cheap and quiet: no fault record, no hook, no
+	// fault-rate feedback for the policy engine to chase.
+	if u.FaultCount != faultsBefore || u.FaultRing().Recorded() != recBefore || hooked != 0 {
+		t.Error("blocked DMA must not record faults or fire the hook")
+	}
+	if u.BlockedDMAs != 1 {
+		t.Errorf("BlockedDMAs = %d, want 1", u.BlockedDMAs)
+	}
+	// Other devices are untouched.
+	if u.Blocked(4) {
+		t.Error("unrelated device reported blocked")
+	}
+	u.Unblock(3)
+	if u.Blocked(3) || u.BlockedDevices() != 0 {
+		t.Fatal("unblock should clear the bit")
+	}
+	if _, _, f := u.Translate(3, 0x5000, PermRead); f != nil {
+		t.Fatalf("translate after unblock: %v", f)
+	}
+}
+
+func TestWipeDomainAndUnmapDebt(t *testing.T) {
+	_, m, u := setup()
+	phys, _ := m.AllocPages(0, 4)
+	if err := u.Map(5, 0x10000, phys, 4*mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if n := u.WipeDomain(5); n != 4 {
+		t.Fatalf("wiped %d pages, want 4", n)
+	}
+	if _, _, f := u.Translate(5, 0x10000, PermRead); f == nil {
+		t.Fatal("translate after wipe should fault")
+	}
+	// The mapping owner tears down what the wipe already destroyed: the
+	// wipe debt absorbs exactly the wiped pages...
+	if err := u.Unmap(5, 0x10000, 4*mem.PageSize); err != nil {
+		t.Fatalf("unmap of wiped range should be tolerated: %v", err)
+	}
+	// ...and not a page more: a genuine double-unmap still errors.
+	if err := u.Unmap(5, 0x10000, mem.PageSize); err == nil {
+		t.Fatal("double unmap beyond the wipe debt must fail")
+	}
+}
+
+func TestInvQueueTimeoutAndRecover(t *testing.T) {
+	eng, _, u := setup()
+	q := u.Queue
+	q.StallCycles = 100_000
+	q.Timeout = 2048
+	q.RetryBackoff = 512
+	q.MaxRetries = 2
+	var waited uint64
+	var err error
+	eng.Spawn("drv", 0, 0, func(p *sim.Proc) {
+		start := p.Now()
+		t0 := q.SubmitGlobal(p)
+		err = q.WaitForErr(p, t0)
+		waited = p.Now() - start
+	})
+	eng.Run(1 << 40)
+	eng.Stop()
+	if !errors.Is(err, ErrInvTimeout) {
+		t.Fatalf("WaitForErr under stall = %v, want ErrInvTimeout", err)
+	}
+	if waited > 10_000 {
+		t.Errorf("timed-out wait consumed %d cycles; deadline not honoured", waited)
+	}
+	if q.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", q.Timeouts)
+	}
+
+	// WaitRecover: bounded retries, then drain-and-recover. After the
+	// recovery the queue must be usable again at normal latency.
+	eng2, _, u2 := setupFresh()
+	q2 := u2.Queue
+	q2.StallCycles = 100_000
+	q2.Timeout = 2048
+	q2.RetryBackoff = 512
+	q2.MaxRetries = 2
+	var recoverAt, afterAt uint64
+	eng2.Spawn("drv", 0, 0, func(p *sim.Proc) {
+		t0 := q2.SubmitGlobal(p)
+		q2.WaitRecover(p, t0)
+		recoverAt = p.Now()
+		q2.StallCycles = 0
+		t1 := q2.SubmitGlobal(p)
+		q2.WaitRecover(p, t1)
+		afterAt = p.Now()
+	})
+	eng2.Run(1 << 40)
+	eng2.Stop()
+	if q2.Timeouts == 0 || q2.Recoveries != 1 {
+		t.Fatalf("timeouts=%d recoveries=%d, want >0/1", q2.Timeouts, q2.Recoveries)
+	}
+	if recoverAt > 20_000 {
+		t.Errorf("recovery completed at %d; retries/recovery should bound the stall", recoverAt)
+	}
+	if afterAt-recoverAt > 10_000 {
+		t.Errorf("post-recovery wait took %d cycles; hw head not reset", afterAt-recoverAt)
+	}
+}
+
+func TestInvQueueZeroTimeoutWaitsForever(t *testing.T) {
+	eng, _, u := setup()
+	q := u.Queue
+	q.StallCycles = 50_000
+	var done uint64
+	eng.Spawn("drv", 0, 0, func(p *sim.Proc) {
+		t0 := q.SubmitGlobal(p)
+		q.WaitRecover(p, t0) // Timeout 0: identical to WaitFor
+		done = p.Now()
+	})
+	eng.Run(1 << 40)
+	eng.Stop()
+	if done < 50_000 {
+		t.Fatalf("zero-timeout wait finished at %d, should ride out the stall", done)
+	}
+	if q.Timeouts != 0 || q.Recoveries != 0 {
+		t.Errorf("timeouts=%d recoveries=%d, want 0/0 with Timeout=0", q.Timeouts, q.Recoveries)
+	}
+}
+
+func setupFresh() (*sim.Engine, *mem.Memory, *IOMMU) { return setup() }

@@ -83,8 +83,21 @@ type IOMMU struct {
 	tlb         *IOTLB
 	Queue       *InvQueue
 
-	faults    []Fault
+	// ring is the fixed-capacity fault recording ring (see faultring.go).
+	// A fault storm costs O(DefaultFaultRingCap) memory, never more.
+	ring *FaultRing
+	// blocked holds quarantined devices whose DMAs fail at the root.
+	blocked   map[DeviceID]bool
 	FaultHook func(Fault)
+
+	// WalkSerialize, when true, serializes page-table walks through a
+	// single hardware page walker: concurrent misses (including faulting
+	// walks from a misbehaving device) queue behind each other, so a fault
+	// storm degrades innocent devices' translation latency until the storm
+	// source is quarantined. Off by default — the paper's experiments model
+	// an uncontended walker — and enabled by chaos/containment scenarios.
+	WalkSerialize bool
+	walkFreeAt    uint64
 
 	// Trace, when set, records map/unmap/invalidation/fault events
 	// (tracepoint-style debugging; see internal/trace).
@@ -93,6 +106,9 @@ type IOMMU struct {
 	// Stats
 	Translations uint64
 	FaultCount   uint64
+	// BlockedDMAs counts DMAs rejected at the root because the issuing
+	// device was quarantined (these are not faults: no record, no hook).
+	BlockedDMAs uint64
 }
 
 // New creates an IOMMU attached to the machine's memory and engine.
@@ -104,6 +120,7 @@ func New(eng *sim.Engine, m *mem.Memory, costs *cycles.Costs) *IOMMU {
 		domains:     make(map[DeviceID]*Domain),
 		passthrough: make(map[DeviceID]bool),
 		tlb:         NewIOTLB(64, 4),
+		ring:        NewFaultRing(DefaultFaultRingCap),
 	}
 	u.Queue = newInvQueue(eng, u, costs)
 	return u
@@ -112,8 +129,11 @@ func New(eng *sim.Engine, m *mem.Memory, costs *cycles.Costs) *IOMMU {
 // TLB exposes the IOTLB (for stats and tests).
 func (u *IOMMU) TLB() *IOTLB { return u.tlb }
 
-// Faults returns all recorded faults.
-func (u *IOMMU) Faults() []Fault { return u.faults }
+// Faults returns a snapshot of the faults currently held in the recording
+// ring, oldest first. Unlike the pre-ring behaviour this is bounded: under
+// a fault storm older faults are overwritten (see FaultRing.Overflow) and
+// FaultCount keeps the true total.
+func (u *IOMMU) Faults() []Fault { return u.ring.Snapshot() }
 
 // SetPassthrough disables translation for a device ("no-iommu" mode: IOVA
 // is used directly as a physical address, no protection).
@@ -169,12 +189,30 @@ func (u *IOMMU) Unmap(dev DeviceID, iova IOVA, size int) error {
 	d := u.DomainFor(dev)
 	first := iova.Page()
 	last := (uint64(iova) + uint64(size) - 1) >> mem.PageShift
+	var cleared, missing uint64
+	firstMissing := uint64(0)
 	for pg := first; pg <= last; pg++ {
-		if !d.clear(pg) {
-			return fmt.Errorf("iommu: unmap of unmapped iova page %#x", pg)
+		if d.clear(pg) {
+			cleared++
+		} else {
+			if missing == 0 {
+				firstMissing = pg
+			}
+			missing++
 		}
 	}
-	d.mappedPages -= last - first + 1
+	d.mappedPages -= cleared
+	if missing > 0 {
+		// Pages already gone: tolerated only as repayment of a quarantine
+		// wipe (WipeDomain) — the mapping owner tearing down an entry the
+		// policy engine already destroyed. Anything beyond the debt is a
+		// genuine double-unmap bug.
+		if missing > d.wipeDebt {
+			d.wipeDebt = 0
+			return fmt.Errorf("iommu: unmap of unmapped iova page %#x", firstMissing)
+		}
+		d.wipeDebt -= missing
+	}
 	u.Trace.Emit(u.eng.Now(), trace.CatUnmap, "dev %d iova %#x size %d", dev, uint64(iova), size)
 	return nil
 }
@@ -191,6 +229,13 @@ func (u *IOMMU) Translate(dev DeviceID, iova IOVA, want Perm) (mem.Phys, uint64,
 	if u.passthrough[dev] {
 		return mem.Phys(iova), 0, nil
 	}
+	if u.blocked[dev] {
+		// Quarantined: rejected at the root port. Zero latency, no fault
+		// record, no hook — containment must be cheaper than translation.
+		u.BlockedDMAs++
+		return 0, 0, &Fault{Dev: dev, Addr: iova, Want: want,
+			Reason: "device quarantined", At: u.eng.Now()}
+	}
 	pg := iova.Page()
 	if e, ok := u.tlb.Lookup(dev, pg, u.eng.Now()); ok {
 		if e.perm&want != want {
@@ -198,25 +243,44 @@ func (u *IOMMU) Translate(dev DeviceID, iova IOVA, want Perm) (mem.Phys, uint64,
 		}
 		return mem.Phys(e.pfn<<mem.PageShift) + mem.Phys(iova.Offset()), 0, nil
 	}
+	walk := u.walkLatency()
 	d, ok := u.domains[dev]
 	if !ok {
-		return 0, u.costs.IOTLBWalk, u.fault(dev, iova, want, "no domain")
+		return 0, walk, u.fault(dev, iova, want, "no domain")
 	}
 	e, ok := d.lookup(pg)
 	if !ok {
-		return 0, u.costs.IOTLBWalk, u.fault(dev, iova, want, "not present")
+		return 0, walk, u.fault(dev, iova, want, "not present")
 	}
 	if e.perm&want != want {
-		return 0, u.costs.IOTLBWalk, u.fault(dev, iova, want, "permission denied")
+		return 0, walk, u.fault(dev, iova, want, "permission denied")
 	}
 	u.tlb.Insert(dev, pg, e, u.eng.Now())
-	return mem.Phys(e.pfn<<mem.PageShift) + mem.Phys(iova.Offset()), u.costs.IOTLBWalk, nil
+	return mem.Phys(e.pfn<<mem.PageShift) + mem.Phys(iova.Offset()), walk, nil
+}
+
+// walkLatency is the device-side cost of one page-table walk. With
+// WalkSerialize the single hardware walker is occupied for IOTLBWalk
+// cycles per miss, so concurrent misses — a hostile device's fault storm
+// included — queue behind each other and the observed latency grows.
+func (u *IOMMU) walkLatency() uint64 {
+	w := u.costs.IOTLBWalk
+	if !u.WalkSerialize {
+		return w
+	}
+	now := u.eng.Now()
+	start := u.walkFreeAt
+	if now > start {
+		start = now
+	}
+	u.walkFreeAt = start + w
+	return start + w - now
 }
 
 func (u *IOMMU) fault(dev DeviceID, iova IOVA, want Perm, reason string) *Fault {
 	u.FaultCount++
 	f := Fault{Dev: dev, Addr: iova, Want: want, Reason: reason, At: u.eng.Now()}
-	u.faults = append(u.faults, f)
+	u.ring.Push(f)
 	u.Trace.Emit(f.At, trace.CatFault, "dev %d iova %#x want %s: %s", dev, uint64(iova), want, reason)
 	if u.FaultHook != nil {
 		u.FaultHook(f)

@@ -7,6 +7,10 @@ type Domain struct {
 	dev         DeviceID
 	root        *ptNode
 	mappedPages uint64
+	// wipeDebt counts pages destroyed by a quarantine WipeDomain whose
+	// owners have not yet unmapped them; those later unmaps are tolerated
+	// (see IOMMU.Unmap) instead of erroring as double-unmaps.
+	wipeDebt uint64
 }
 
 const (

@@ -1,0 +1,63 @@
+package netstack
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// The host pays for IOMMU faults in interrupt context: every RX IRQ drains
+// the fault ring and charges FaultServiceCost per record. A second device's
+// fault storm therefore taxes the victim's datapath — exactly the damage
+// channel quarantine cuts off (see internal/chaos).
+func TestFaultServiceChargesPerRecord(t *testing.T) {
+	run := func(cost uint64, storm int) (RxStats, uint64, uint64) {
+		r := newRig(t, "strict", 1)
+		r.d.FaultServiceCost = cost
+		var st RxStats
+		r.eng.Spawn("rx", 0, 0, func(p *sim.Proc) {
+			if err := r.d.SetupQueue(p, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = r.d.RunRxStream(p, 0, 4096, &st)
+		})
+		src := nic.NewSource(r.eng, r.n.Queue(0), r.costs, 4096, 1500, true)
+		src.Start(0)
+		// A neighbour device (dev 9, no domain) faults in a burst
+		// mid-window; each attempt leaves one record in the ring.
+		for i := 0; i < storm; i++ {
+			at := cycles.FromMicros(200) + uint64(i)*2000
+			r.eng.Schedule(at, func(uint64) {
+				r.u.DMAWrite(9, iommu.IOVA(0x9000+i)<<mem.PageShift, []byte{1})
+			})
+		}
+		r.eng.Run(cycles.FromMillis(2))
+		r.eng.Stop()
+		return st, r.d.FaultsServiced, r.u.FaultRing().Recorded()
+	}
+
+	st, serviced, recorded := run(1500, 200)
+	if recorded != 200 {
+		t.Fatalf("recorded = %d, want 200", recorded)
+	}
+	if serviced != 200 {
+		t.Errorf("serviced = %d, want all 200 records drained by the IRQ path", serviced)
+	}
+	quiet, serviced0, _ := run(1500, 0)
+	if serviced0 != 0 {
+		t.Errorf("no faults, but serviced = %d", serviced0)
+	}
+	if st.Bytes >= quiet.Bytes {
+		t.Errorf("fault servicing must cost goodput: stormy %d bytes >= quiet %d", st.Bytes, quiet.Bytes)
+	}
+	// Zero cost disables the path entirely (stock-run bit-identity).
+	_, servicedOff, _ := run(0, 200)
+	if servicedOff != 0 {
+		t.Errorf("FaultServiceCost=0 must not touch the ring (serviced=%d)", servicedOff)
+	}
+}

@@ -11,6 +11,7 @@
 package netstack
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cycles"
@@ -42,8 +43,28 @@ type Driver struct {
 	// what the shadow pool's sticky NUMA-local buffers save).
 	RemoteBufs bool
 
+	// FaultServiceCost, when non-zero, models the host's IOMMU
+	// fault-interrupt handler: each interrupt entry drains the pending
+	// records from the fault ring (iommu.FaultRing().Consume) and charges
+	// this many cycles per record on the servicing core (the ring capacity
+	// bounds the batch). This is the
+	// channel a fault storm uses to spend victim CPU — and what device
+	// quarantine (internal/resilience) shuts off at the root. Zero (the
+	// default) leaves fault records for the harness to inspect, keeping
+	// stock benchmark runs bit-identical.
+	FaultServiceCost uint64
+
 	// Stats
 	FirewallDrops uint64
+	// BackpressureDrops counts receive buffers the driver shed because
+	// the mapper refused the map with dmaapi.ErrBackpressure: the buffer
+	// is freed, the RX ring runs one credit shallower, and the source's
+	// credit gating turns the shortage into flow control instead of a
+	// datapath failure.
+	BackpressureDrops uint64
+	// FaultsServiced counts fault records drained from the IOMMU fault
+	// ring by the interrupt path (only when FaultServiceCost is set).
+	FaultsServiced uint64
 
 	coherent []ringArea
 }
@@ -110,6 +131,13 @@ func (d *Driver) SetupQueue(p *sim.Proc, qi int) error {
 func (d *Driver) postRxBuf(p *sim.Proc, q *nic.Queue, buf mem.Buf) error {
 	addr, err := d.mapper.Map(p, buf, dmaapi.FromDevice)
 	if err != nil {
+		if errors.Is(err, dmaapi.ErrBackpressure) {
+			// Shed load instead of failing the datapath: free the buffer
+			// and let the ring run shallower until pressure clears.
+			d.BackpressureDrops++
+			_ = d.k.Free(buf)
+			return nil
+		}
 		return err
 	}
 	if !q.PostRx(p, nic.Desc{Addr: addr, Len: buf.Size, Tag: buf}) {
@@ -207,12 +235,30 @@ func (d *Driver) RunRxStream(p *sim.Proc, qi, msgSize int, st *RxStats) error {
 			p.Sleep(co.SchedLatency)
 		}
 		p.ChargeSpan("rx/irq", cycles.TagOther, co.InterruptEntry)
+		d.serviceFaults(p)
 		for _, c := range q.DrainRx() {
 			if err := d.handleRx(p, q, c, msgSize, &msgAcc, st); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// serviceFaults models the DMAR fault interrupt: drain a bounded batch of
+// fault records (bounded by the ring capacity) and pay the handler cost
+// for each. Runs in the datapath
+// core's interrupt context, which is exactly why unquarantined fault
+// storms hurt — the records are another device's, the cycles are ours.
+func (d *Driver) serviceFaults(p *sim.Proc) {
+	if d.FaultServiceCost == 0 {
+		return
+	}
+	n := len(d.env.IOMMU.FaultRing().Consume(0))
+	if n == 0 {
+		return
+	}
+	d.FaultsServiced += uint64(n)
+	p.ChargeSpan("fault-irq", cycles.TagOther, uint64(n)*d.FaultServiceCost)
 }
 
 // TxStats accumulates transmit-side results.

@@ -49,6 +49,12 @@ type NIC struct {
 	RxBytes, TxBytes   uint64
 	TxSkbs             uint64
 	RxNoBufDrops       uint64
+	// Quarantine drops: frames/descriptors rejected because the device
+	// is blocked at the IOMMU root (internal/resilience). RX drops
+	// consume no descriptor — posted credits survive the quarantine — so
+	// readmission resumes with a full ring.
+	RxQuarantineDrops uint64
+	TxQuarantineDrops uint64
 }
 
 // Queue is one RX/TX queue pair with its completion queues and interrupt
@@ -160,6 +166,13 @@ func (q *Queue) RxCredits() int { return q.RxRing.Len() }
 // the frame (and are visible in the IOMMU fault log).
 func (q *Queue) DeliverFrame(now uint64, payload []byte) {
 	n := q.nic
+	if n.u.Blocked(n.cfg.Dev) {
+		// Quarantined: the root port would reject the DMA, so don't even
+		// consume a descriptor — the drop costs nothing, no translation
+		// is attempted, and the posted buffers survive for readmission.
+		n.RxQuarantineDrops++
+		return
+	}
 	d, ok := q.RxRing.Pop()
 	if !ok {
 		n.RxNoBufDrops++
@@ -224,6 +237,14 @@ func (q *Queue) deviceTx(now uint64) {
 		d, ok := q.TxRing.Pop()
 		if !ok {
 			return
+		}
+		if n.u.Blocked(n.cfg.Dev) {
+			// Quarantined: skip the payload fetch entirely and complete
+			// the descriptor as an error, so the driver never wedges on
+			// a ring the hardware will not drain.
+			n.TxQuarantineDrops++
+			q.completeTx(now, d)
+			continue
 		}
 		if n.TxDMAHook != nil {
 			n.TxDMAHook(q.idx, d.Addr, d.Len)

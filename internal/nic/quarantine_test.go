@@ -1,0 +1,106 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	next, want := 0, 0
+	// Cycle far past capacity so head/tail wrap several times, with the
+	// ring held partially full the whole way.
+	for i := 0; i < 3; i++ {
+		for r.Len() < 3 {
+			if !r.Post(Desc{Len: next}) {
+				t.Fatalf("post %d failed with len %d", next, r.Len())
+			}
+			next++
+		}
+		for r.Len() > 1 {
+			d, ok := r.Pop()
+			if !ok || d.Len != want {
+				t.Fatalf("pop = %+v ok=%v, want Len %d", d, ok, want)
+			}
+			want++
+		}
+	}
+	// Fill to capacity: the 5th post must fail, FIFO order must survive
+	// the wrap.
+	for !r.Full() {
+		r.Post(Desc{Len: next})
+		next++
+	}
+	if r.Post(Desc{Len: 999}) {
+		t.Error("post into a full ring must fail")
+	}
+	if r.Len() != 4 || r.Size() != 4 {
+		t.Fatalf("len=%d size=%d", r.Len(), r.Size())
+	}
+	for r.Len() > 0 {
+		d, _ := r.Pop()
+		if d.Len != want {
+			t.Fatalf("pop after wrap = %d, want %d", d.Len, want)
+		}
+		want++
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop from empty ring must fail")
+	}
+}
+
+func TestRxQuarantineDropPreservesCredits(t *testing.T) {
+	r := newNICRig(1, false)
+	q := r.n.Queue(0)
+	buf, _ := r.m.AllocPages(0, 2)
+	r.eng.Spawn("drv", 0, 0, func(p *sim.Proc) {
+		q.PostRx(p, Desc{Addr: iommu.IOVA(buf), Len: 2048})
+		q.PostRx(p, Desc{Addr: iommu.IOVA(buf) + mem.PageSize, Len: 2048})
+	})
+	payload := make([]byte, 1000)
+	r.eng.Schedule(100, func(now uint64) {
+		// Quarantined: the frame is dropped before the ring — no
+		// descriptor consumed, no translation attempted, no fault logged.
+		r.u.Block(7)
+		q.DeliverFrame(now, payload)
+	})
+	r.eng.Schedule(200, func(now uint64) {
+		// Readmitted: the surviving credits carry traffic immediately.
+		r.u.Unblock(7)
+		q.DeliverFrame(now, payload)
+	})
+	r.eng.Run(1 << 30)
+	r.eng.Stop()
+	if r.n.RxQuarantineDrops != 1 {
+		t.Errorf("RxQuarantineDrops = %d, want 1", r.n.RxQuarantineDrops)
+	}
+	if r.u.FaultCount != 0 || r.u.Translations != 1 {
+		t.Errorf("faults=%d translations=%d; quarantine drop must be pre-translation",
+			r.u.FaultCount, r.u.Translations)
+	}
+	if q.RxRing.Len() != 1 {
+		t.Errorf("ring len = %d, want 1 (one credit consumed post-readmit, one survived the drop)", q.RxRing.Len())
+	}
+	if r.n.RxFrames != 1 || !q.HasRx() {
+		t.Errorf("frames=%d hasRx=%v; post-readmit delivery should complete", r.n.RxFrames, q.HasRx())
+	}
+}
+
+func TestRxNoBufDropOnEmptyRing(t *testing.T) {
+	r := newNICRig(1, false)
+	q := r.n.Queue(0)
+	r.eng.Schedule(0, func(now uint64) {
+		q.DeliverFrame(now, make([]byte, 500))
+	})
+	r.eng.Run(1 << 30)
+	r.eng.Stop()
+	if r.n.RxNoBufDrops != 1 || r.n.RxFrames != 0 {
+		t.Errorf("nobuf=%d frames=%d, want 1/0", r.n.RxNoBufDrops, r.n.RxFrames)
+	}
+	if r.u.FaultCount != 0 {
+		t.Errorf("an empty-ring drop must not fault (faults=%d)", r.u.FaultCount)
+	}
+}

@@ -142,6 +142,8 @@ func Group(path string) string {
 		last = path[i+1:]
 	}
 	switch {
+	case strings.HasPrefix(last, "resilience"):
+		return "resilience"
 	case strings.HasPrefix(last, "inval"):
 		return "invalidate"
 	case last == "copy" || last == "copy-in" || last == "copy-out" || last == "bounce":

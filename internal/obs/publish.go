@@ -13,6 +13,7 @@ import (
 	"repro/internal/dmaapi"
 	"repro/internal/iommu"
 	"repro/internal/nic"
+	"repro/internal/resilience"
 	"repro/internal/shadow"
 	"repro/internal/sim"
 )
@@ -49,7 +50,25 @@ func PublishIOMMU(r *Registry, u *iommu.IOMMU) {
 	r.Gauge("iommu.iotlb.hit_rate", t.HitRate())
 	r.Counter("iommu.invq.submitted", u.Queue.Submitted)
 	r.Counter("iommu.invq.completed", u.Queue.Completed)
+	r.Counter("iommu.invq.timeouts", u.Queue.Timeouts)
+	r.Counter("iommu.invq.recoveries", u.Queue.Recoveries)
+	ring := u.FaultRing()
+	r.Gauge("iommu.faultring.len", float64(ring.Len()))
+	r.Counter("iommu.faultring.recorded", ring.Recorded())
+	r.Counter("iommu.faultring.overflow", ring.Overflow())
+	r.Counter("iommu.blocked_dmas", u.BlockedDMAs)
+	r.Gauge("iommu.blocked_devices", float64(u.BlockedDevices()))
 	PublishLock(r, u.Queue.Lock)
+}
+
+// PublishResilience records the fault-domain policy engine's aggregate
+// state under resilience.*.
+func PublishResilience(r *Registry, s *resilience.Supervisor) {
+	r.Counter("resilience.faults_observed", s.FaultsObserved)
+	r.Counter("resilience.quarantines", s.Quarantines)
+	r.Counter("resilience.readmits", s.Readmits)
+	r.Counter("resilience.wiped_pages", s.WipedPages)
+	r.Gauge("resilience.quarantined_devices", float64(s.QuarantinedDevices()))
 }
 
 // PublishPool records the shadow pool's statistics under shadow.pool.*.
@@ -76,6 +95,8 @@ func PublishNIC(r *Registry, n *nic.NIC) {
 	r.Counter("nic.tx.bytes", n.TxBytes)
 	r.Counter("nic.tx.skbs", n.TxSkbs)
 	r.Counter("nic.tx.faults", n.TxFaults)
+	r.Counter("nic.rx.quarantine_drops", n.RxQuarantineDrops)
+	r.Counter("nic.tx.quarantine_drops", n.TxQuarantineDrops)
 }
 
 // PublishMapper records one protection strategy's DMA-API statistics under
@@ -95,5 +116,10 @@ func PublishMapper(r *Registry, name string, st dmaapi.Stats) {
 		r.Counter(p+"copy_hint_bytes_saved", st.CopyHintBytesSaved)
 		r.Gauge(p+"shadow_pool_bytes", float64(st.ShadowPoolBytes))
 		r.Gauge(p+"shadow_pool_buffers", float64(st.ShadowPoolBuffers))
+	}
+	if st.DegradedRetries+st.DegradedSpills+st.BackpressureFails > 0 {
+		r.Counter(p+"resilience.retries", st.DegradedRetries)
+		r.Counter(p+"resilience.spills", st.DegradedSpills)
+		r.Counter(p+"resilience.backpressure", st.BackpressureFails)
 	}
 }

@@ -1,0 +1,256 @@
+// Package resilience implements the per-device fault-domain policy engine:
+// token-bucket fault-rate tracking over the IOMMU's fault stream, device
+// quarantine when a device's fault rate exceeds its budget (its DMAs are
+// then rejected cheaply at the root, and optionally its whole domain is
+// torn down), and reset-and-readmission after a cool-down. The goal is the
+// paper's threat model taken to its operational conclusion: a hostile or
+// broken device must not be able to spend other devices' cycles — not on
+// page walks, not on fault recording, not on host-side handling.
+//
+// The engine is deliberately small and mechanical: it consumes
+// iommu.FaultHook, keeps one integer token bucket per device in virtual
+// time, and drives iommu.Block/Unblock (+ WipeDomain when configured).
+// Everything above it — NIC descriptor handling, netstack buffer posting —
+// reacts to the quarantine through IOMMU.Blocked, so the containment cost
+// is a map lookup, not a policy consultation.
+package resilience
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/sim"
+)
+
+// State is a device's fault-domain state.
+type State int
+
+const (
+	// Healthy devices translate normally.
+	Healthy State = iota
+	// Quarantined devices have their DMAs rejected at the root.
+	Quarantined
+)
+
+func (s State) String() string {
+	if s == Quarantined {
+		return "quarantined"
+	}
+	return "healthy"
+}
+
+// Policy parameterizes the fault-domain engine. The zero value of any
+// field is replaced by its DefaultPolicy counterpart at Attach time, so a
+// partially specified policy is safe.
+type Policy struct {
+	// FaultBurst is the token-bucket depth: how many faults a device may
+	// emit back-to-back before quarantine. Real devices do fault
+	// occasionally (probe reads, races at teardown); the burst absorbs
+	// that background rate.
+	FaultBurst uint64
+	// RefillEvery is the bucket refill interval in cycles: one token is
+	// restored per interval, so the sustained tolerated fault rate is
+	// 1/RefillEvery.
+	RefillEvery uint64
+	// Cooldown is how long a quarantined device stays blocked before
+	// readmission, in cycles. Zero at Attach time means the default;
+	// use NoReadmit for permanent quarantine.
+	Cooldown uint64
+	// MaxReadmits bounds how many times a device may be readmitted
+	// (after that, quarantine is permanent). Negative means unlimited;
+	// zero at Attach time means the default (unlimited).
+	MaxReadmits int
+	// TeardownMappings additionally wipes the device's page tables on
+	// quarantine (iommu.WipeDomain): nothing remains reachable even if
+	// the block bit were cleared. Mapping owners' later unmaps of wiped
+	// pages are tolerated via the domain's wipe debt. Off by default:
+	// strategies with permanent mappings (the copy strategy's shadow
+	// pool) quarantine without losing their pool.
+	TeardownMappings bool
+}
+
+// NoReadmit is a Cooldown value meaning "never readmit".
+const NoReadmit = ^uint64(0)
+
+// DefaultPolicy tolerates a modest background fault rate (64-fault burst,
+// 100k faults/s sustained at the default clock) and readmits after 5 ms.
+func DefaultPolicy() Policy {
+	return Policy{
+		FaultBurst:  64,
+		RefillEvery: cycles.FromMicros(10),
+		Cooldown:    cycles.FromMillis(5),
+		MaxReadmits: -1,
+	}
+}
+
+// DeviceStats is the per-device view of the engine.
+type DeviceStats struct {
+	State         State
+	Faults        uint64 // faults observed (quarantined-period rejections excluded)
+	Quarantines   uint64
+	Readmits      uint64
+	QuarantinedAt uint64 // virtual time of the most recent quarantine
+	ReadmittedAt  uint64 // virtual time of the most recent readmission
+}
+
+type devState struct {
+	state      State
+	tokens     uint64
+	lastRefill uint64
+	stats      DeviceStats
+}
+
+// Supervisor is the attached policy engine. The simulation is
+// single-threaded, so no locking is needed; callbacks run in engine or
+// proc context at the fault's virtual time.
+type Supervisor struct {
+	eng  *sim.Engine
+	u    *iommu.IOMMU
+	pol  Policy
+	devs map[iommu.DeviceID]*devState
+
+	// OnQuarantine/OnReadmit, when set, are called after the transition
+	// is applied (drivers use them to pause sources, log, etc.).
+	OnQuarantine func(dev iommu.DeviceID, at uint64)
+	OnReadmit    func(dev iommu.DeviceID, at uint64)
+
+	// Aggregate stats (published as resilience.* metrics).
+	FaultsObserved uint64
+	Quarantines    uint64
+	Readmits       uint64
+	WipedPages     uint64
+}
+
+// Attach normalizes the policy, chains the supervisor onto the IOMMU's
+// FaultHook (preserving any existing hook), and returns it.
+func Attach(u *iommu.IOMMU, eng *sim.Engine, pol Policy) *Supervisor {
+	def := DefaultPolicy()
+	if pol.FaultBurst == 0 {
+		pol.FaultBurst = def.FaultBurst
+	}
+	if pol.RefillEvery == 0 {
+		pol.RefillEvery = def.RefillEvery
+	}
+	if pol.Cooldown == 0 {
+		pol.Cooldown = def.Cooldown
+	}
+	if pol.MaxReadmits == 0 {
+		pol.MaxReadmits = def.MaxReadmits
+	}
+	s := &Supervisor{
+		eng:  eng,
+		u:    u,
+		pol:  pol,
+		devs: make(map[iommu.DeviceID]*devState),
+	}
+	prev := u.FaultHook
+	u.FaultHook = func(f iommu.Fault) {
+		if prev != nil {
+			prev(f)
+		}
+		s.Observe(f)
+	}
+	return s
+}
+
+// Policy returns the normalized policy in effect.
+func (s *Supervisor) Policy() Policy { return s.pol }
+
+func (s *Supervisor) dev(id iommu.DeviceID) *devState {
+	d, ok := s.devs[id]
+	if !ok {
+		d = &devState{tokens: s.pol.FaultBurst}
+		s.devs[id] = d
+	}
+	return d
+}
+
+// Observe feeds one fault into the device's token bucket; bucket
+// exhaustion quarantines the device. Quarantined devices' DMAs are
+// rejected at the root without faulting, so there is no feedback loop —
+// Observe simply never sees them.
+func (s *Supervisor) Observe(f iommu.Fault) {
+	s.FaultsObserved++
+	d := s.dev(f.Dev)
+	d.stats.Faults++
+	if d.state == Quarantined {
+		return
+	}
+	if f.At > d.lastRefill {
+		refill := (f.At - d.lastRefill) / s.pol.RefillEvery
+		d.lastRefill += refill * s.pol.RefillEvery
+		d.tokens += refill
+		if d.tokens > s.pol.FaultBurst {
+			d.tokens = s.pol.FaultBurst
+		}
+	}
+	if d.tokens == 0 {
+		s.quarantine(f.Dev, d, f.At)
+		return
+	}
+	d.tokens--
+}
+
+func (s *Supervisor) quarantine(dev iommu.DeviceID, d *devState, at uint64) {
+	d.state = Quarantined
+	d.stats.Quarantines++
+	d.stats.QuarantinedAt = at
+	s.Quarantines++
+	s.u.Block(dev)
+	if s.pol.TeardownMappings {
+		s.WipedPages += s.u.WipeDomain(dev)
+	}
+	if s.OnQuarantine != nil {
+		s.OnQuarantine(dev, at)
+	}
+	if s.pol.Cooldown != NoReadmit &&
+		(s.pol.MaxReadmits < 0 || d.stats.Readmits < uint64(s.pol.MaxReadmits)) {
+		s.eng.Schedule(at+s.pol.Cooldown, func(when uint64) { s.readmit(dev, when) })
+	}
+}
+
+// readmit resets the device's bucket and lifts the block.
+func (s *Supervisor) readmit(dev iommu.DeviceID, at uint64) {
+	d := s.dev(dev)
+	if d.state != Quarantined {
+		return
+	}
+	d.state = Healthy
+	d.tokens = s.pol.FaultBurst
+	d.lastRefill = at
+	d.stats.Readmits++
+	d.stats.ReadmittedAt = at
+	s.Readmits++
+	s.u.Unblock(dev)
+	if s.OnReadmit != nil {
+		s.OnReadmit(dev, at)
+	}
+}
+
+// State returns the device's current fault-domain state.
+func (s *Supervisor) State(dev iommu.DeviceID) State {
+	if d, ok := s.devs[dev]; ok {
+		return d.state
+	}
+	return Healthy
+}
+
+// Stats returns a snapshot of the device's counters.
+func (s *Supervisor) Stats(dev iommu.DeviceID) DeviceStats {
+	if d, ok := s.devs[dev]; ok {
+		st := d.stats
+		st.State = d.state
+		return st
+	}
+	return DeviceStats{}
+}
+
+// QuarantinedDevices returns how many devices are currently quarantined.
+func (s *Supervisor) QuarantinedDevices() int {
+	n := 0
+	for _, d := range s.devs {
+		if d.state == Quarantined {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,189 @@
+package resilience
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func rig(pol Policy) (*sim.Engine, *mem.Memory, *iommu.IOMMU, *Supervisor) {
+	eng := sim.NewEngine()
+	m := mem.New(1)
+	u := iommu.New(eng, m, cycles.Default())
+	return eng, m, u, Attach(u, eng, pol)
+}
+
+// fire feeds one fault for dev at virtual time `at` into the supervisor's
+// token bucket, exactly as the IOMMU fault hook would.
+func fire(s *Supervisor, dev iommu.DeviceID, at uint64) {
+	s.Observe(iommu.Fault{Dev: dev, Addr: 0xdead000, Want: iommu.PermWrite, Reason: "test", At: at})
+}
+
+func TestBurstExhaustionQuarantines(t *testing.T) {
+	eng, _, u, s := rig(Policy{FaultBurst: 4, RefillEvery: 1000, Cooldown: NoReadmit})
+	var quarantinedAt uint64
+	s.OnQuarantine = func(dev iommu.DeviceID, at uint64) { quarantinedAt = at }
+	// 4 faults drain the bucket; the 5th finds it empty and quarantines.
+	for i := 0; i < 5; i++ {
+		fire(s, 7, uint64(i))
+	}
+	if s.State(7) != Quarantined || !u.Blocked(7) {
+		t.Fatal("device should be quarantined and blocked")
+	}
+	st := s.Stats(7)
+	if st.Quarantines != 1 || st.Faults != 5 || quarantinedAt != 4 {
+		t.Errorf("stats = %+v, quarantinedAt = %d", st, quarantinedAt)
+	}
+	// Quarantined DMAs are rejected at the root: no fault record, no hook,
+	// no token-bucket feedback.
+	obsBefore, recBefore := s.FaultsObserved, u.FaultRing().Recorded()
+	res := u.DMAWrite(7, 0x9000, []byte{1})
+	if res.Fault == nil || res.Fault.Reason != "device quarantined" {
+		t.Fatalf("blocked DMA fault = %+v", res.Fault)
+	}
+	if s.FaultsObserved != obsBefore || u.FaultRing().Recorded() != recBefore {
+		t.Error("blocked DMA must not feed the token bucket or the ring")
+	}
+	if s.QuarantinedDevices() != 1 {
+		t.Errorf("QuarantinedDevices = %d", s.QuarantinedDevices())
+	}
+	// NoReadmit: nothing scheduled, quarantine is permanent.
+	eng.Run(1 << 40)
+	eng.Stop()
+	if s.State(7) != Quarantined {
+		t.Error("NoReadmit quarantine must be permanent")
+	}
+}
+
+func TestRefillToleratesBackgroundRate(t *testing.T) {
+	_, _, _, s := rig(Policy{FaultBurst: 2, RefillEvery: 1000, Cooldown: NoReadmit})
+	// One fault per refill interval: the bucket never drains.
+	for i := 0; i < 50; i++ {
+		fire(s, 3, uint64(i)*1000)
+	}
+	if s.State(3) != Healthy {
+		t.Fatal("sustained rate at 1/RefillEvery should stay healthy")
+	}
+	// Refill is capped at the burst depth: a long quiet period does not
+	// bank unlimited tokens.
+	fire(s, 3, 1_000_000)
+	fire(s, 3, 1_000_000)
+	fire(s, 3, 1_000_000)
+	if s.State(3) != Quarantined {
+		t.Error("burst after idle must still be bounded by FaultBurst")
+	}
+}
+
+func TestReadmitAfterCooldown(t *testing.T) {
+	eng, _, u, s := rig(Policy{FaultBurst: 2, RefillEvery: 1 << 30, Cooldown: 5000, MaxReadmits: -1})
+	var readmittedAt uint64
+	s.OnReadmit = func(dev iommu.DeviceID, at uint64) { readmittedAt = at }
+	for i := 0; i < 3; i++ {
+		fire(s, 9, 100)
+	}
+	if s.State(9) != Quarantined {
+		t.Fatal("not quarantined")
+	}
+	eng.Run(1 << 20)
+	if s.State(9) != Healthy || u.Blocked(9) {
+		t.Fatal("cool-down should readmit and unblock")
+	}
+	if readmittedAt != 5100 {
+		t.Errorf("readmitted at %d, want 5100", readmittedAt)
+	}
+	st := s.Stats(9)
+	if st.Readmits != 1 || st.ReadmittedAt != 5100 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Readmission resets the bucket: the device has its full burst again.
+	fire(s, 9, 5101)
+	fire(s, 9, 5102)
+	if s.State(9) != Healthy {
+		t.Error("bucket not reset on readmit")
+	}
+	eng.Stop()
+}
+
+func TestMaxReadmitsBoundsFlapping(t *testing.T) {
+	eng, _, _, s := rig(Policy{FaultBurst: 1, RefillEvery: 1 << 40, Cooldown: 100, MaxReadmits: 2})
+	at := uint64(1)
+	trip := func() {
+		fire(s, 5, at)
+		fire(s, 5, at+1)
+		at += 2
+	}
+	trip() // quarantine #1
+	eng.Run(at + 200)
+	at += 202
+	trip() // quarantine #2
+	eng.Run(at + 200)
+	at += 202
+	if s.Stats(5).Readmits != 2 {
+		t.Fatalf("readmits = %d, want 2", s.Stats(5).Readmits)
+	}
+	trip() // quarantine #3: readmit budget spent, permanent now
+	eng.Run(1 << 40)
+	eng.Stop()
+	if s.State(5) != Quarantined {
+		t.Fatal("third quarantine should be permanent after MaxReadmits=2")
+	}
+	if s.Stats(5).Quarantines != 3 || s.Stats(5).Readmits != 2 {
+		t.Errorf("stats = %+v", s.Stats(5))
+	}
+}
+
+func TestTeardownMappingsWipesDomain(t *testing.T) {
+	_, m, u, s := rig(Policy{FaultBurst: 1, RefillEvery: 1 << 40, Cooldown: NoReadmit, TeardownMappings: true})
+	phys, _ := m.AllocPages(0, 2)
+	if err := u.Map(6, 0x8000, phys, 2*mem.PageSize, iommu.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	fire(s, 6, 1)
+	fire(s, 6, 2)
+	if s.State(6) != Quarantined {
+		t.Fatal("not quarantined")
+	}
+	if s.WipedPages != 2 {
+		t.Errorf("WipedPages = %d, want 2", s.WipedPages)
+	}
+	// Even if the block bit were cleared, nothing remains mapped.
+	u.Unblock(6)
+	if _, _, f := u.Translate(6, 0x8000, iommu.PermRead); f == nil {
+		t.Error("mappings should be gone after teardown")
+	}
+	// The owner's teardown of the wiped range is tolerated (wipe debt).
+	if err := u.Unmap(6, 0x8000, 2*mem.PageSize); err != nil {
+		t.Errorf("unmap of wiped range: %v", err)
+	}
+}
+
+func TestAttachChainsExistingFaultHook(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.New(1)
+	u := iommu.New(eng, m, cycles.Default())
+	prior := 0
+	u.FaultHook = func(iommu.Fault) { prior++ }
+	s := Attach(u, eng, Policy{FaultBurst: 100})
+	// A real fault (unmapped IOVA) must reach both the pre-existing hook
+	// and the supervisor.
+	if res := u.DMAWrite(2, 0x7000, []byte{1}); res.Fault == nil {
+		t.Fatal("expected a fault")
+	}
+	if prior != 1 || s.FaultsObserved != 1 {
+		t.Fatalf("prior hook calls = %d, supervisor observed = %d; both should see the fault", prior, s.FaultsObserved)
+	}
+}
+
+func TestPolicyNormalization(t *testing.T) {
+	_, _, _, s := rig(Policy{})
+	if s.Policy() != DefaultPolicy() {
+		t.Errorf("zero policy should normalize to default: got %+v", s.Policy())
+	}
+	_, _, _, s2 := rig(Policy{Cooldown: NoReadmit, MaxReadmits: 3})
+	if s2.Policy().Cooldown != NoReadmit || s2.Policy().MaxReadmits != 3 {
+		t.Errorf("explicit fields must survive normalization: %+v", s2.Policy())
+	}
+}

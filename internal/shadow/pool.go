@@ -25,6 +25,13 @@ type Config struct {
 	Domains int
 	// DomainOfCore maps a core to its NUMA domain.
 	DomainOfCore func(core int) int
+	// DisableFallback hard-bounds the pool: when the metadata array of a
+	// (domain, class) is exhausted, Acquire fails with ErrPoolExhausted
+	// instead of spilling into the hash-table fallback path. This turns
+	// pool pressure into a typed, policy-visible condition — the
+	// degradation ladder in internal/core reacts to it — and gives tests
+	// and chaos scenarios a deterministic way to starve the pool.
+	DisableFallback bool
 }
 
 // DefaultConfig returns the paper prototype's configuration.
@@ -218,6 +225,14 @@ func (p *Pool) MaxClass() int { return p.cfg.SizeClasses[len(p.cfg.SizeClasses)-
 // ErrTooBig is returned when the requested size exceeds the largest class.
 var ErrTooBig = fmt.Errorf("shadow: buffer exceeds largest size class")
 
+// ErrPoolExhausted is returned when the pool cannot produce a shadow
+// buffer: backing memory allocation failed, the fallback IOVA space ran
+// dry, or the metadata arrays filled with DisableFallback set. It wraps
+// the underlying cause, so errors.Is works on both this sentinel and the
+// cause (e.g. mem.ErrInjectedAllocFail). Callers treat it as a pressure
+// signal, not a fatal error — see the degradation ladder in internal/core.
+var ErrPoolExhausted = fmt.Errorf("shadow: pool exhausted")
+
 // classFor returns the smallest class index fitting size.
 func (p *Pool) classFor(size int) (int, error) {
 	for i, c := range p.cfg.SizeClasses {
@@ -295,7 +310,7 @@ func (p *Pool) grow(proc *sim.Proc, core, class, ri int) (*Meta, error) {
 	pages := bytes / mem.PageSize
 	phys, err := p.mem.AllocPages(domain, pages)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: grow class %d: %w", ErrPoolExhausted, class, err)
 	}
 
 	chunks := bytes / classSize // >1 only for sub-page classes
@@ -307,6 +322,11 @@ func (p *Pool) grow(proc *sim.Proc, core, class, ri int) (*Meta, error) {
 
 	var metas []*Meta
 	if !reserved {
+		if p.cfg.DisableFallback {
+			_ = p.mem.FreePages(phys, pages)
+			return nil, fmt.Errorf("%w: class %d metadata full (fallback disabled)",
+				ErrPoolExhausted, class)
+		}
 		metas, err = p.growFallback(proc, core, class, ri, phys, chunks)
 		if err != nil {
 			_ = p.mem.FreePages(phys, pages)
@@ -355,7 +375,7 @@ func (p *Pool) growFallback(proc *sim.Proc, core, class, ri int, phys mem.Phys, 
 	proc.ChargeSpan("pool-grow", cycles.TagCopyMgmt, p.costs.MagazineAlloc)
 	base, err := p.fb.alloc.Alloc(core, pages)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: fallback iova: %w", ErrPoolExhausted, err)
 	}
 	if err := p.u.Map(p.dev, base, phys, span, rightsOf[ri]); err != nil {
 		// Return the IOVA range, or the allocator leaks it forever.
@@ -476,7 +496,7 @@ func (p *Pool) Trim(proc *sim.Proc, core int) (freed uint64) {
 				q := p.u.Queue
 				q.Lock.Lock(proc)
 				done := q.SubmitPages(proc, p.dev, m.iova.Page(), uint64(pages))
-				q.WaitFor(proc, done)
+				q.WaitRecover(proc, done)
 				q.Lock.Unlock(proc)
 				// Once unmapped the buffer has left the pool whatever
 				// FreePages says, so the footprint shrinks either way;
