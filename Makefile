@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke baseline chaos-smoke chaos-baseline bench profile fuzz fuzz-smoke cover doc-check ci
+.PHONY: build vet test race race-smoke smoke baseline chaos-smoke chaos-baseline bench profile fuzz fuzz-smoke cover doc-check ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short farm-parallel smoke under the race detector: the tests that fan
+# real sweep points across multi-worker farms (bench sections, chaos
+# variant triples, magazine stats counters), so any cross-engine data
+# race on shared state fails fast without the cost of `make race`.
+race-smoke:
+	$(GO) test -race -count=1 \
+		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace' \
+		./internal/bench/ ./internal/chaos/ ./internal/iova/
 
 # Fast end-to-end check: regenerate the full evaluation at a 1 ms window,
 # write the machine-readable artifact, and gate it against the committed
@@ -96,4 +105,4 @@ cover:
 doc-check:
 	$(GO) run ./ci/doccheck
 
-ci: vet test race smoke chaos-smoke fuzz-smoke cover doc-check
+ci: vet test race race-smoke smoke chaos-smoke fuzz-smoke cover doc-check

@@ -7,9 +7,11 @@
 //
 //	chaosbench [-seed 1] [-window 2] [-scenarios faultstorm,poolsqueeze]
 //	chaosbench -json chaos.json        # machine-readable artifact
+//	chaosbench -parallel 4             # variants fan out across a farm
 //
-// Every scenario is deterministic for a given seed, so the JSON artifact
-// is regression-gated in CI with cmd/benchdiff against
+// Every scenario is deterministic for a given seed — the farm changes
+// when variants run, never their numbers (doc/FARM.md) — so the JSON
+// artifact is regression-gated in CI with cmd/benchdiff against
 // ci/chaos-baseline.json (`make chaos-smoke`).
 package main
 
@@ -19,7 +21,9 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 
+	"repro/internal/bench"
 	"repro/internal/chaos"
 	"repro/internal/report"
 )
@@ -30,11 +34,17 @@ func main() {
 	cores := flag.Int("cores", 2, "victim cores / NIC queues")
 	system := flag.String("system", "strict", "victim protection strategy (strict|copy|identity+|...)")
 	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+	parallel := flag.Int("parallel", 1, "farm workers for variant parallelism (<=0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.String("json", "", "write a machine-readable artifact (internal/report schema) to this path")
 	quiet := flag.Bool("q", false, "suppress the text tables")
 	flag.Parse()
 
 	cfg := chaos.Config{Seed: *seed, WindowMs: *window, Cores: *cores, System: *system}
+	if *parallel != 1 {
+		farm := bench.NewFarm(*parallel)
+		defer farm.Close()
+		cfg.Farm = farm
+	}
 
 	var run []chaos.Scenario
 	if *scenarios == "all" {
@@ -49,12 +59,34 @@ func main() {
 		}
 	}
 
-	art := report.New("chaosbench", *window, cfg.Costs)
-	for _, s := range run {
-		t, err := s.Run(cfg)
+	// Scenarios run on coordinator goroutines sharing the one farm; the
+	// tables land in scenario order so output and artifact are identical
+	// at every -parallel setting.
+	tables := make([]*bench.Table, len(run))
+	errs := make([]error, len(run))
+	var wg sync.WaitGroup
+	for i, s := range run {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t, err := s.Run(cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %v", s.Name, err)
+				return
+			}
+			tables[i] = t
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			log.Fatalf("chaosbench: %s: %v", s.Name, err)
+			log.Fatalf("chaosbench: %v", err)
 		}
+	}
+
+	art := report.New("chaosbench", *window, cfg.Costs)
+	for _, t := range tables {
 		if !*quiet {
 			fmt.Println(t.String())
 		}

@@ -11,8 +11,14 @@
 //
 //	dmafuzz -seed 1 -n 500                  # one fuzzing run, all backends
 //	dmafuzz -seed 1 -n 500 -json            # machine-readable report on stdout
+//	dmafuzz -seeds 16 -parallel 4           # 16 derived seeds across a farm
 //	dmafuzz -inject-bug skipinval -backends strict
 //	dmafuzz -replay repro.json -inject-bug skipinval
+//
+// With -seeds N, seed i is derived as bench.PointSeed(-seed, i) — a
+// splitmix64 mix, so campaign results depend only on the base seed and
+// position, never on -parallel or completion order. Reports print in
+// seed order; the first failing trace is minimized.
 package main
 
 import (
@@ -21,12 +27,15 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/dmafuzz"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "workload generator seed")
+	seed := flag.Int64("seed", 1, "workload generator seed (base seed with -seeds > 1)")
 	n := flag.Int("n", 500, "number of trace operations")
+	seedCount := flag.Int("seeds", 1, "run this many traces with seeds derived from -seed")
+	parallel := flag.Int("parallel", 1, "farm workers for the multi-seed campaign (<=0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "print the full report as JSON instead of a summary")
 	backendsFlag := flag.String("backends", "", "comma-separated backend subset (default: all)")
 	replay := flag.String("replay", "", "replay a repro file instead of generating a trace")
@@ -53,6 +62,15 @@ func main() {
 	backends := dmafuzz.Backends
 	if *backendsFlag != "" {
 		backends = strings.Split(*backendsFlag, ",")
+	}
+
+	if *seedCount > 1 {
+		if *replay != "" {
+			fatal(fmt.Errorf("-seeds and -replay are mutually exclusive"))
+		}
+		runCampaign(*seed, *seedCount, *n, *parallel, backends, plan,
+			*jsonOut, *noMinimize, *reproOut)
+		return
 	}
 
 	var tr *dmafuzz.Trace
@@ -107,6 +125,80 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "dmafuzz: minimized %d -> %d ops (%d oracle runs); repro written to %s\n",
 			len(tr.Ops), len(min.Ops), runs, *reproOut)
+	}
+	os.Exit(1)
+}
+
+// runCampaign fuzzes `count` derived seeds, fanned across a farm. The
+// merge is in seed order (reports, output, exit status) regardless of
+// which worker finished first, and each trace's seed depends only on
+// (base, index), so a campaign is reproducible at any -parallel.
+func runCampaign(base int64, count, n, parallel int, backends []string,
+	plan dmafuzz.FaultPlan, jsonOut, noMinimize bool, reproOut string) {
+	var farm *bench.Farm
+	if parallel != 1 {
+		farm = bench.NewFarm(parallel)
+		defer farm.Close()
+	}
+	traces := make([]*dmafuzz.Trace, count)
+	reps := make([]*dmafuzz.Report, count)
+	err := farm.Map(count, func(i int) error {
+		tr := dmafuzz.Generate(bench.PointSeed(base, i), n)
+		rep, err := dmafuzz.RunTrace(tr, backends, plan)
+		if err != nil {
+			return fmt.Errorf("seed[%d]=%d: %w", i, tr.Seed, err)
+		}
+		traces[i], reps[i] = tr, rep
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	failed := -1
+	var totalViolations int
+	for i, rep := range reps {
+		if jsonOut {
+			j, err := rep.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(j)
+			os.Stdout.Write([]byte("\n"))
+		} else {
+			fmt.Printf("=== campaign %d/%d ===\n", i+1, count)
+			printSummary(rep)
+			fmt.Println()
+		}
+		if rep.Failed() {
+			totalViolations += len(rep.Failures())
+			if failed < 0 {
+				failed = i
+			}
+		}
+	}
+	if failed < 0 {
+		fmt.Fprintf(os.Stderr, "dmafuzz: campaign PASS — %d seeds, 0 violations\n", count)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\ndmafuzz: campaign FAILED — %d violation(s) across %d seeds; first at seed[%d]=%d\n",
+		totalViolations, count, failed, traces[failed].Seed)
+	for _, f := range reps[failed].Failures() {
+		fmt.Fprintf(os.Stderr, "  %s\n", f)
+	}
+	if !noMinimize {
+		min, runs, err := dmafuzz.Minimize(traces[failed], backends, plan)
+		if err != nil {
+			fatal(err)
+		}
+		blob, err := min.MarshalRepro()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(reproOut, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dmafuzz: minimized %d -> %d ops (%d oracle runs); repro written to %s\n",
+			len(traces[failed].Ops), len(min.Ops), runs, reproOut)
 	}
 	os.Exit(1)
 }

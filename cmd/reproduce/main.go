@@ -1,21 +1,28 @@
 // Command reproduce regenerates the paper's ENTIRE evaluation — every
 // table and figure, the attack matrix, the memory measurement — plus this
-// reproduction's extension studies, as one self-contained report. The
-// figure families are independent simulations, so they run concurrently
-// (bounded by -parallel); the printed report order is unchanged.
+// reproduction's extension studies, as one self-contained report. Every
+// section's individual data points fan out across one shared bench.Farm
+// (bounded by -parallel); the printed report order and every number are
+// unchanged at any worker count (see doc/FARM.md).
 //
 //	go run ./cmd/reproduce > report.txt
 //	go run ./cmd/reproduce -window 1 -json BENCH_smoke.json
+//	go run ./cmd/reproduce -experiment fig3,storage -parallel 4
 //
 // With -json the same results are also written as a machine-readable
 // artifact (internal/report schema) for the cmd/benchdiff regression gate.
-// "-json auto" derives the filename as BENCH_<YYYY-MM-DD>.json.
+// "-json auto" derives the filename as BENCH_<YYYY-MM-DD>.json. When a
+// section fails, the completed sections are still written to the -json
+// path as a partial diagnostic artifact.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/attack"
@@ -23,11 +30,19 @@ import (
 	"repro/internal/prof"
 )
 
+func artifactPath(jsonOut string) string {
+	if jsonOut == "auto" {
+		return fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	return jsonOut
+}
+
 func main() {
 	window := flag.Float64("window", 10, "simulated milliseconds per data point")
 	skipSensitivity := flag.Bool("skip-sensitivity", false, "skip the (slow) sensitivity analysis")
 	jsonOut := flag.String("json", "", "also write a machine-readable artifact to this path (\"auto\" = BENCH_<date>.json)")
-	parallel := flag.Int("parallel", 0, "max concurrent sections (<=0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "farm workers for data-point parallelism (<=0 = GOMAXPROCS)")
+	experiment := flag.String("experiment", "all", "comma-separated experiment names (fig1,fig3,...,table1), or 'all'")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	cycleReport := flag.Bool("cyclereport", false, "append the cycle-attribution tables (simulated-cycle profiler, doc/OBSERVABILITY.md)")
@@ -40,8 +55,45 @@ func main() {
 	}
 	defer stop()
 
-	opt := bench.Options{WindowMs: *window}
+	farm := bench.NewFarm(*parallel)
+	defer farm.Close()
+	opt := bench.Options{WindowMs: *window, Farm: farm}
 	start := time.Now()
+
+	sections := bench.Suite(!*skipSensitivity)
+	runTable1 := true
+	if *experiment != "all" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*experiment, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				want[n] = true
+			}
+		}
+		runTable1 = want["table1"]
+		delete(want, "table1")
+		var filtered []bench.Section
+		for _, s := range sections {
+			if want[s.Name] {
+				filtered = append(filtered, s)
+				delete(want, s.Name)
+			}
+		}
+		if len(want) > 0 {
+			var unknown []string
+			for n := range want {
+				unknown = append(unknown, n)
+			}
+			sort.Strings(unknown)
+			var known []string
+			for _, s := range bench.Suite(true) {
+				known = append(known, s.Name)
+			}
+			log.Fatalf("reproduce: unknown experiment(s) %s (have: table1,%s)",
+				strings.Join(unknown, ","), strings.Join(known, ","))
+		}
+		sections = filtered
+	}
+
 	fmt.Println("Reproduction report: True IOMMU Protection from DMA Attacks (ASPLOS'16)")
 	fmt.Printf("window: %.0f simulated ms per data point\n\n", *window)
 
@@ -53,22 +105,38 @@ func main() {
 		err  error
 	}
 	t1ch := make(chan table1Out, 1)
-	go func() {
-		rows, tbl, err := attack.Table1(*window)
-		t1ch <- table1Out{rows, tbl, err}
-	}()
+	if runTable1 {
+		go func() {
+			rows, tbl, err := attack.Table1(*window)
+			t1ch <- table1Out{rows, tbl, err}
+		}()
+	}
 
-	sections := bench.Suite(!*skipSensitivity)
 	tables, err := bench.RunSuite(sections, opt, *parallel)
 	if err != nil {
-		log.Fatal(err)
+		// The completed sections are still worth a record when a long run
+		// dies near the end: write them as a partial diagnostic artifact.
+		log.Printf("reproduce: %v", err)
+		if *jsonOut != "" {
+			path := artifactPath(*jsonOut)
+			a := bench.Artifact("reproduce", *window, nil, tables)
+			a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+			if werr := a.WriteFile(path); werr != nil {
+				log.Printf("reproduce: writing partial artifact: %v", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "reproduce: partial diagnostic artifact written to %s\n", path)
+			}
+		}
+		os.Exit(1)
 	}
-	t1 := <-t1ch
-	if t1.err != nil {
-		log.Fatal(t1.err)
+	var t1 table1Out
+	if runTable1 {
+		t1 = <-t1ch
+		if t1.err != nil {
+			log.Fatal(t1.err)
+		}
+		fmt.Println(t1.tbl)
 	}
-
-	fmt.Println(t1.tbl)
 	for _, t := range tables {
 		fmt.Println(t)
 	}
@@ -90,16 +158,32 @@ func main() {
 		}
 		fmt.Printf("Chrome trace written to %s (load at https://ui.perfetto.dev)\n\n", *traceFile)
 	}
+	// Farm scheduling stats go to stderr: host-time numbers must never
+	// enter the report or the artifact (doc/FARM.md).
+	fs := farm.Stats()
+	var util float64
+	for _, u := range fs.UtilPct {
+		util += u
+	}
+	if len(fs.UtilPct) > 0 {
+		util /= float64(len(fs.UtilPct))
+	}
+	fmt.Fprintf(os.Stderr, "farm: %d workers, %d points, %d steals, queue hwm %d, mean util %.0f%%, wall %s\n",
+		fs.Workers, fs.Executed, fs.Steals, fs.QueueHWM, util,
+		time.Since(start).Round(time.Millisecond))
 	fmt.Printf("report complete in %s (wall clock)\n", time.Since(start).Round(time.Second))
 
 	if *jsonOut != "" {
-		path := *jsonOut
-		if path == "auto" {
-			path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+		path := artifactPath(*jsonOut)
+		all := tables
+		if runTable1 {
+			all = append([]*bench.Table{t1.tbl}, tables...)
 		}
-		a := bench.Artifact("reproduce", *window, nil, append([]*bench.Table{t1.tbl}, tables...))
+		a := bench.Artifact("reproduce", *window, nil, all)
 		a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
-		a.Attacks = attack.Verdicts(t1.rows)
+		if runTable1 {
+			a.Attacks = attack.Verdicts(t1.rows)
+		}
 		if err := a.WriteFile(path); err != nil {
 			log.Fatalf("writing artifact: %v", err)
 		}

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/cycles"
@@ -19,6 +18,26 @@ type Options struct {
 	// Costs overrides the cost model (e.g. loaded from JSON); nil uses
 	// the paper-calibrated defaults.
 	Costs *cycles.Costs
+	// Farm is the worker pool sweep points are submitted through. Nil
+	// uses a shared process-wide pool sized GOMAXPROCS, so standalone
+	// experiment calls still parallelize; RunSuite and the cmd/* drivers
+	// thread an explicitly-sized pool through here (-parallel).
+	Farm *Farm
+}
+
+// sharedFarm is the lazily-created default pool for Options without an
+// explicit Farm. It is never closed: idle workers cost nothing.
+var sharedFarm struct {
+	once sync.Once
+	f    *Farm
+}
+
+func (o Options) farm() *Farm {
+	if o.Farm != nil {
+		return o.Farm
+	}
+	sharedFarm.once.Do(func() { sharedFarm.f = NewFarm(0) })
+	return sharedFarm.f
 }
 
 // applyTo copies the option overrides into a run config.
@@ -52,49 +71,41 @@ func (o Options) systems() []string {
 }
 
 // StreamSweep runs a STREAM experiment over (system, size) and returns the
-// results keyed [system][size]. Data points are independent simulations,
-// so they run concurrently (each on its own engine); results are still
-// fully deterministic per point.
+// results keyed [system][size]. Data points are independent simulations
+// submitted through the farm (each on its own engine) and merged in
+// canonical point order, so results are bit-deterministic regardless of
+// worker count or completion order.
 func StreamSweep(dir Direction, cores int, opt Options) (map[string]map[int]Result, error) {
 	type point struct {
 		sys string
 		sz  int
 	}
 	var pts []point
-	out := make(map[string]map[int]Result)
 	for _, sys := range opt.systems() {
-		out[sys] = make(map[int]Result)
 		for _, sz := range opt.sizes() {
 			pts = append(pts, point{sys, sz})
 		}
 	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, pt := range pts {
-		pt := pt
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			cfg := DefaultConfig(pt.sys, dir, cores, pt.sz)
-			opt.applyTo(&cfg)
-			r, err := Run(cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("%s/%s/%d: %w", pt.sys, dir, pt.sz, err)
-				return
-			}
-			out[pt.sys][pt.sz] = r
-		}()
+	results := make([]Result, len(pts))
+	err := opt.farm().Map(len(pts), func(i int) error {
+		cfg := DefaultConfig(pts[i].sys, dir, cores, pts[i].sz)
+		opt.applyTo(&cfg)
+		r, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%s/%d: %w", pts[i].sys, dir, pts[i].sz, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	out := make(map[string]map[int]Result)
+	for i, pt := range pts {
+		if out[pt.sys] == nil {
+			out[pt.sys] = make(map[int]Result)
+		}
+		out[pt.sys][pt.sz] = results[i]
 	}
 	return out, nil
 }
@@ -160,15 +171,27 @@ func Fig1(opt Options) (*Table, error) {
 		Columns: []string{"system", "1 core", "16 cores"},
 	}
 	t.SetWinner("gbps", false)
-	for _, sys := range opt.systems() {
+	systems := opt.systems()
+	coreCounts := []int{1, 16}
+	results := make([]Result, len(systems)*len(coreCounts))
+	err := opt.farm().Map(len(results), func(i int) error {
+		sys, cores := systems[i/len(coreCounts)], coreCounts[i%len(coreCounts)]
+		cfg := DefaultConfig(sys, RX, cores, 16384)
+		opt.applyTo(&cfg)
+		r, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%d cores: %w", sys, cores, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sys := range systems {
 		row := []string{sys}
-		for _, cores := range []int{1, 16} {
-			cfg := DefaultConfig(sys, RX, cores, 16384)
-			opt.applyTo(&cfg)
-			r, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for ci, cores := range coreCounts {
+			r := results[si*len(coreCounts)+ci]
 			row = append(row, f2(r.Gbps))
 			t.Point(sys, fmt.Sprintf("%d cores", cores),
 				map[string]float64{"gbps": r.Gbps, "cpu_pct": r.CPUPct})
@@ -364,13 +387,23 @@ func MemoryConsumption(opt Options) (*Table, error) {
 		Title:   "Memory consumption (paper §6): shadow DMA buffer footprint",
 		Columns: []string{"workload", "pool bytes", "pool MB", "in-flight buffers"},
 	}
-	for _, dir := range []Direction{RX, TX} {
-		cfg := DefaultConfig(SysCopy, dir, 16, 65536)
+	dirs := []Direction{RX, TX}
+	results := make([]Result, len(dirs))
+	err := opt.farm().Map(len(dirs), func(i int) error {
+		cfg := DefaultConfig(SysCopy, dirs[i], 16, 65536)
 		opt.applyTo(&cfg)
 		r, err := Run(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, dir := range dirs {
+		r := results[i]
 		label := fmt.Sprintf("16-core %s 64KB", dir)
 		t.AddRow(label,
 			fmt.Sprintf("%d", r.PoolBytes),

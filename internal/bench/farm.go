@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Farm is a work-stealing worker pool for sweep points. Every evaluation
+// sweep in this repo — (message size x strategy x core count x seed) grids,
+// chaos variant triples, multi-seed fuzzing — is embarrassingly parallel:
+// each point is an independent discrete-event simulation on its own
+// engine, bit-deterministic in isolation. The Farm fans those points
+// across host cores and lets the caller reassemble results in canonical
+// point order, so artifacts stay byte-identical regardless of worker
+// count or completion order.
+//
+// Scheduling model: Map distributes point i to worker deque i mod W.
+// Workers pop their own deque LIFO and, when empty, steal the oldest task
+// from another worker's deque (FIFO), so a straggler point never idles
+// the rest of the pool. The submitting goroutine blocks until its whole
+// group completes; results land in caller-owned slices indexed by point,
+// which is what makes the merge deterministic.
+//
+// Contract: task functions must be leaves — they must not call Map on the
+// same Farm (sweep coordinators run on ordinary goroutines; only leaf
+// simulations run as tasks). A nil *Farm is valid and runs every Map
+// serially in submission order with identical semantics, which is the
+// degenerate -parallel case and what unit tests use for byte-for-byte
+// reference runs.
+type Farm struct {
+	workers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]*task
+	pending int
+	hwm     int
+	closed  bool
+	wg      sync.WaitGroup
+
+	started   time.Time
+	submitted atomic.Uint64
+	executed  atomic.Uint64
+	stolen    atomic.Uint64
+	panics    atomic.Uint64
+	busyNs    []atomic.Int64
+}
+
+// task is one queued point: fn computes it, grp collects completion, idx
+// is the canonical point index within the group, home the deque it was
+// dealt to (an executor with a different id counts as a steal).
+type task struct {
+	fn   func(i int) error
+	grp  *group
+	idx  int
+	home int
+}
+
+// group tracks one Map call's outstanding points.
+type group struct {
+	n    int
+	done int
+	errs []error
+	fin  chan struct{}
+}
+
+// NewFarm starts a pool of `parallel` workers (<=0 means GOMAXPROCS).
+// Close it when the sweep is finished; an unclosed farm only costs idle
+// goroutines.
+func NewFarm(parallel int) *Farm {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	f := &Farm{
+		workers: parallel,
+		deques:  make([][]*task, parallel),
+		busyNs:  make([]atomic.Int64, parallel),
+		started: time.Now(),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	for w := 0; w < parallel; w++ {
+		f.wg.Add(1)
+		go f.worker(w)
+	}
+	return f
+}
+
+// Workers returns the pool size (0 for a nil farm).
+func (f *Farm) Workers() int {
+	if f == nil {
+		return 0
+	}
+	return f.workers
+}
+
+// Map runs fn(0..n-1) across the pool and blocks until every point has
+// finished. Errors (including recovered panics) are aggregated with
+// errors.Join in point order; points after a failing one still run, so a
+// partially-failed sweep keeps every completed result. A nil farm runs
+// the points serially with the same semantics.
+func (f *Farm) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if f == nil {
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			errs[i] = runPoint(fn, i)
+		}
+		return errors.Join(errs...)
+	}
+	grp := &group{n: n, errs: make([]error, n), fin: make(chan struct{})}
+	f.submitted.Add(uint64(n))
+	f.mu.Lock()
+	if f.closed {
+		// Late submission after Close: degrade to serial rather than
+		// deadlock on workers that already exited.
+		f.mu.Unlock()
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			errs[i] = runPoint(fn, i)
+		}
+		return errors.Join(errs...)
+	}
+	for i := 0; i < n; i++ {
+		home := i % f.workers
+		f.deques[home] = append(f.deques[home], &task{fn: fn, grp: grp, idx: i, home: home})
+	}
+	f.pending += n
+	if f.pending > f.hwm {
+		f.hwm = f.pending
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	<-grp.fin
+	return errors.Join(grp.errs...)
+}
+
+// panicError marks an error that was recovered from a panicking point.
+type panicError struct{ msg string }
+
+func (e *panicError) Error() string { return e.msg }
+
+// runPoint executes one point, converting a panic into an error so a bad
+// point reports instead of killing the whole sweep.
+func runPoint(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{msg: fmt.Sprintf("farm: point %d panicked: %v\n%s", i, r, debug.Stack())}
+		}
+	}()
+	return fn(i)
+}
+
+// worker is one pool goroutine: drain own deque LIFO, steal FIFO, sleep.
+func (f *Farm) worker(w int) {
+	defer f.wg.Done()
+	for {
+		f.mu.Lock()
+		t := f.takeLocked(w)
+		for t == nil && !f.closed {
+			f.cond.Wait()
+			t = f.takeLocked(w)
+		}
+		if t == nil { // closed and drained
+			f.mu.Unlock()
+			return
+		}
+		f.pending--
+		f.mu.Unlock()
+
+		if t.home != w {
+			f.stolen.Add(1)
+		}
+		start := time.Now()
+		err := runPoint(t.fn, t.idx)
+		f.busyNs[w].Add(int64(time.Since(start)))
+		f.finish(t, err)
+	}
+}
+
+// finish records a completed point and releases its group when it was the
+// last one.
+func (f *Farm) finish(t *task, err error) {
+	f.executed.Add(1)
+	if err != nil {
+		var pe *panicError
+		if errors.As(err, &pe) {
+			f.panics.Add(1)
+		}
+	}
+	f.mu.Lock()
+	t.grp.errs[t.idx] = err
+	t.grp.done++
+	if t.grp.done == t.grp.n {
+		close(t.grp.fin)
+	}
+	f.mu.Unlock()
+}
+
+// takeLocked pops a task: back of the worker's own deque first (LIFO —
+// cache-warm freshest work), then the front of the next non-empty deque
+// (FIFO — steal the oldest, least-contended task). Caller holds f.mu.
+func (f *Farm) takeLocked(w int) *task {
+	if d := f.deques[w]; len(d) > 0 {
+		t := d[len(d)-1]
+		f.deques[w] = d[:len(d)-1]
+		return t
+	}
+	for off := 1; off < f.workers; off++ {
+		v := (w + off) % f.workers
+		if d := f.deques[v]; len(d) > 0 {
+			t := d[0]
+			f.deques[v] = d[1:]
+			return t
+		}
+	}
+	return nil
+}
+
+// Close stops the workers after the queues drain. Map must not be in
+// flight; late Map calls fall back to serial execution.
+func (f *Farm) Close() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Stats snapshots the scheduler metrics (see doc/FARM.md). Host-time
+// based, so informational only — never part of a gated artifact.
+func (f *Farm) Stats() obs.FarmStats {
+	if f == nil {
+		return obs.FarmStats{}
+	}
+	f.mu.Lock()
+	hwm := f.hwm
+	f.mu.Unlock()
+	s := obs.FarmStats{
+		Workers:   f.workers,
+		Submitted: f.submitted.Load(),
+		Executed:  f.executed.Load(),
+		Steals:    f.stolen.Load(),
+		Panics:    f.panics.Load(),
+		QueueHWM:  hwm,
+	}
+	wall := time.Since(f.started)
+	if wall > 0 {
+		for w := 0; w < f.workers; w++ {
+			s.UtilPct = append(s.UtilPct,
+				100*float64(f.busyNs[w].Load())/float64(wall))
+		}
+	}
+	return s
+}
+
+// Publish pushes the farm.* metrics into an obs registry.
+func (f *Farm) Publish(r *obs.Registry) { obs.PublishFarm(r, f.Stats()) }
+
+// PointSeed derives the seed for point index i of a sweep seeded with
+// base. It is a splitmix64 step over (base, i), so every point gets an
+// independent, well-mixed stream without any shared rand.Rand — the seed
+// depends only on (base, i), never on scheduling or completion order.
+func PointSeed(base int64, i int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

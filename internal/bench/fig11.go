@@ -102,11 +102,21 @@ func Fig11(opt Options) (*Table, error) {
 		Columns: []string{"system", "Mtx/s", "cpu%"},
 	}
 	t.SetWinner("mtx_per_sec", false)
-	for _, sys := range opt.systems() {
-		r, err := RunMemcached(sys, 16, opt.window())
+	systems := opt.systems()
+	results := make([]KVResult, len(systems))
+	err := opt.farm().Map(len(systems), func(i int) error {
+		r, err := RunMemcached(systems[i], 16, opt.window())
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s: %w", systems[i], err)
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		r := results[i]
 		t.AddRow(sys, fmt.Sprintf("%.2f", r.TransactionsPS/1e6), f1(r.CPUPct))
 		t.Point(sys, "16 cores", map[string]float64{
 			"mtx_per_sec": r.TransactionsPS / 1e6,

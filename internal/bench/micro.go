@@ -141,13 +141,23 @@ func APIMicro(opt Options) (*Table, error) {
 		Columns: append([]string{"pattern"}, systems...),
 	}
 	t.SetWinner("pair_us", true)
-	for _, pat := range MicroPatterns {
+	results := make([]MicroResult, len(MicroPatterns)*len(systems))
+	err := opt.farm().Map(len(results), func(i int) error {
+		pat, sys := MicroPatterns[i/len(systems)], systems[i%len(systems)]
+		r, err := RunMicro(sys, pat, 2000)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", sys, pat.Name, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pat := range MicroPatterns {
 		row := []string{pat.Name}
-		for _, sys := range systems {
-			r, err := RunMicro(sys, pat, 2000)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", sys, pat.Name, err)
-			}
+		for si, sys := range systems {
+			r := results[pi*len(systems)+si]
 			row = append(row, fmt.Sprintf("%.3f", r.PerPairUs))
 			t.Point(sys, pat.Name, map[string]float64{"pair_us": r.PerPairUs})
 		}

@@ -135,15 +135,26 @@ func MixedStudy(opt Options) (*Table, error) {
 			"ssd KIOPS", "invq contention"},
 	}
 	t.SetWinner("net_both_gbps", false)
-	for _, sys := range opt.systems() {
-		alone, err := RunMixed(sys, 4, 0, opt.window())
-		if err != nil {
-			return nil, err
+	systems := opt.systems()
+	results := make([]MixedResult, len(systems)*2) // [2i]=alone, [2i+1]=both
+	err := opt.farm().Map(len(results), func(i int) error {
+		sys := systems[i/2]
+		blkCores := 0
+		if i%2 == 1 {
+			blkCores = 4
 		}
-		both, err := RunMixed(sys, 4, 4, opt.window())
+		r, err := RunMixed(sys, 4, blkCores, opt.window())
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s (4+%d cores): %w", sys, blkCores, err)
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		alone, both := results[2*i], results[2*i+1]
 		loss := 0.0
 		if alone.NetGbps > 0 {
 			loss = 100 * (1 - both.NetGbps/alone.NetGbps)

@@ -86,34 +86,51 @@ var Perturbations = []Perturbation{
 // SensitivityScales are the perturbation factors applied to each constant.
 var SensitivityScales = []float64{0.75, 1.25}
 
-// runClaimSet measures the four figure systems at 1 and 16 cores under a
-// given cost model.
-func runClaimSet(costs *cycles.Costs, windowMs float64) (single, multi map[string]Result, err error) {
-	single = make(map[string]Result)
-	multi = make(map[string]Result)
-	for _, sys := range FigureSystems {
-		for _, cores := range []int{1, 16} {
-			cfg := DefaultConfig(sys, RX, cores, 16384)
-			cfg.WindowMs = windowMs
-			c := *costs
-			cfg.Costs = &c
-			r, e := Run(cfg)
-			if e != nil {
-				return nil, nil, e
-			}
-			if cores == 1 {
-				single[sys] = r
-			} else {
-				multi[sys] = r
-			}
-		}
-	}
-	return single, multi, nil
-}
+// claimPointCores are the core counts each claim set is measured at.
+var claimPointCores = []int{1, 16}
 
 // Sensitivity evaluates every paper claim under every perturbation,
 // returning the robustness matrix and the number of claim violations.
+// The full (perturbation x scale x system x cores) grid — 88 machines —
+// is flattened into individual farm points and the matrix reassembled in
+// canonical row order, so this (previously fully serial, and the slowest
+// section of the suite) scales with the worker count.
 func Sensitivity(opt Options) (*Table, int, error) {
+	type rowSpec struct {
+		name  string
+		scale float64
+		costs *cycles.Costs
+	}
+	rows := []rowSpec{{"(baseline)", 1.0, cycles.Default()}}
+	for _, pert := range Perturbations {
+		for _, scale := range SensitivityScales {
+			costs := cycles.Default()
+			pert.Apply(costs, scale)
+			rows = append(rows, rowSpec{pert.Name, scale, costs})
+		}
+	}
+
+	perRow := len(FigureSystems) * len(claimPointCores)
+	results := make([]Result, len(rows)*perRow)
+	err := opt.farm().Map(len(results), func(i int) error {
+		row := rows[i/perRow]
+		sys := FigureSystems[(i%perRow)/len(claimPointCores)]
+		cores := claimPointCores[i%len(claimPointCores)]
+		cfg := DefaultConfig(sys, RX, cores, 16384)
+		cfg.WindowMs = opt.window()
+		c := *row.costs // private copy: cost models must never be shared
+		cfg.Costs = &c
+		r, e := Run(cfg)
+		if e != nil {
+			return fmt.Errorf("%s x%.2f %s/%d cores: %w", row.name, row.scale, sys, cores, e)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
 	t := &Table{
 		Name:    "sensitivity",
 		Title:   "Sensitivity analysis: paper claims under +/-25% cost-model perturbation",
@@ -123,13 +140,21 @@ func Sensitivity(opt Options) (*Table, int, error) {
 		t.Columns = append(t.Columns, c.Name)
 	}
 	violations := 0
-	addRow := func(name string, scale float64, costs *cycles.Costs) error {
-		single, multi, err := runClaimSet(costs, opt.window())
-		if err != nil {
-			return err
+	for ri, spec := range rows {
+		single := make(map[string]Result)
+		multi := make(map[string]Result)
+		for si, sys := range FigureSystems {
+			for ci, cores := range claimPointCores {
+				r := results[ri*perRow+si*len(claimPointCores)+ci]
+				if cores == 1 {
+					single[sys] = r
+				} else {
+					multi[sys] = r
+				}
+			}
 		}
-		row := []string{name, fmt.Sprintf("%.2f", scale)}
-		series := fmt.Sprintf("%s x%.2f", name, scale)
+		row := []string{spec.name, fmt.Sprintf("%.2f", spec.scale)}
+		series := fmt.Sprintf("%s x%.2f", spec.name, spec.scale)
 		for _, c := range PaperClaims {
 			holds := c.Holds(single, multi)
 			if holds {
@@ -145,19 +170,6 @@ func Sensitivity(opt Options) (*Table, int, error) {
 			t.Point(series, c.Name, map[string]float64{"holds": v})
 		}
 		t.AddRow(row...)
-		return nil
-	}
-	if err := addRow("(baseline)", 1.0, cycles.Default()); err != nil {
-		return nil, 0, err
-	}
-	for _, pert := range Perturbations {
-		for _, scale := range SensitivityScales {
-			costs := cycles.Default()
-			pert.Apply(costs, scale)
-			if err := addRow(pert.Name, scale, costs); err != nil {
-				return nil, 0, err
-			}
-		}
 	}
 	return t, violations, nil
 }

@@ -94,12 +94,22 @@ func StorageStudy(opt Options) (*Table, error) {
 	t.SetWinner("kiops", false)
 	sizes := []int{4096, 65536, 262144}
 	systems := opt.systems()
-	for _, sz := range sizes {
-		for _, sys := range systems {
-			r, err := RunStorage(sys, 4, sz, 70, opt.window())
-			if err != nil {
-				return nil, err
-			}
+	results := make([]StorageResult, len(sizes)*len(systems))
+	err := opt.farm().Map(len(results), func(i int) error {
+		sz, sys := sizes[i/len(systems)], systems[i%len(systems)]
+		r, err := RunStorage(sys, 4, sz, 70, opt.window())
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", sys, sizeLabel(sz), err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for zi, sz := range sizes {
+		for si, sys := range systems {
+			r := results[zi*len(systems)+si]
 			t.AddRow(sizeLabel(sz), sys, f1(r.IOPS/1e3), f2(r.GBps), f1(r.CPUPct),
 				fmt.Sprintf("%d", r.HybridMaps))
 			t.Point(sys, sizeLabel(sz), map[string]float64{

@@ -1,8 +1,8 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -37,7 +37,7 @@ func Suite(includeSensitivity bool) []Section {
 		{"apimicro", func(o Options) (*Table, error) {
 			// The microbenchmark covers the related-work systems too and
 			// is window-independent (fixed pair count).
-			return APIMicro(Options{Systems: ExtendedSystems, Costs: o.Costs})
+			return APIMicro(Options{Systems: ExtendedSystems, Costs: o.Costs, Farm: o.Farm})
 		}},
 		{"storage", StorageStudy},
 		{"mixed", MixedStudy},
@@ -45,7 +45,7 @@ func Suite(includeSensitivity bool) []Section {
 	if includeSensitivity {
 		s = append(s, Section{"sensitivity", func(o Options) (*Table, error) {
 			// Half the window: 11 cost models x 8 machines is the slow part.
-			t, violations, err := Sensitivity(Options{WindowMs: o.window() / 2, Costs: o.Costs})
+			t, violations, err := Sensitivity(Options{WindowMs: o.window() / 2, Costs: o.Costs, Farm: o.Farm})
 			if err != nil {
 				return nil, err
 			}
@@ -56,25 +56,32 @@ func Suite(includeSensitivity bool) []Section {
 	return s
 }
 
-// RunSuite executes sections concurrently (bounded by parallelism;
-// <=0 means GOMAXPROCS) and returns their tables in section order. The
-// figure families are independent simulations — only StreamSweep's
-// intra-sweep parallelism existed before, leaving the serial sections
-// (Fig1, Fig11, storage, mixed) to dominate wall clock.
+// RunSuite executes every section's individual data points across a
+// bench.Farm of `parallelism` workers (<=0 means GOMAXPROCS) and returns
+// the tables in section order. Each section runs on a lightweight
+// coordinator goroutine that submits its points (not whole sections) to
+// the shared farm, so one slow section (sensitivity: 11 cost models x 8
+// machines) no longer pins a worker while the others idle. When
+// opt.Farm is already set the caller's pool is used and left open;
+// otherwise a fresh pool is created for the call and closed afterwards.
+//
+// Section failures are aggregated with errors.Join and the completed
+// tables are still returned (nil slots mark the failed sections), so
+// callers can write a partial diagnostic artifact alongside the error.
 func RunSuite(sections []Section, opt Options, parallelism int) ([]*Table, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	if opt.Farm == nil {
+		farm := NewFarm(parallelism)
+		defer farm.Close()
+		opt.Farm = farm
 	}
 	tables := make([]*Table, len(sections))
 	errs := make([]error, len(sections))
-	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i, sec := range sections {
 		i, sec := i, sec
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
-			defer func() { <-sem; wg.Done() }()
+			defer wg.Done()
 			start := time.Now()
 			t, err := sec.Run(opt)
 			if err != nil {
@@ -89,12 +96,7 @@ func RunSuite(sections []Section, opt Options, parallelism int) ([]*Table, error
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return tables, nil
+	return tables, errors.Join(errs...)
 }
 
 // Artifact bundles tables into a machine-readable artifact (see

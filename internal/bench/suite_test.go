@@ -2,6 +2,7 @@ package bench
 
 import (
 	"errors"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/report"
@@ -71,13 +72,75 @@ func TestRunSuiteParallel(t *testing.T) {
 
 func TestRunSuitePropagatesErrors(t *testing.T) {
 	boom := errors.New("boom")
+	bang := errors.New("bang")
 	sections := []Section{
 		{"ok", func(o Options) (*Table, error) { return &Table{Title: "t"}, nil }},
 		{"bad", func(o Options) (*Table, error) { return nil, boom }},
+		{"worse", func(o Options) (*Table, error) { return nil, bang }},
 	}
-	_, err := RunSuite(sections, Options{WindowMs: 0.1}, 2)
-	if !errors.Is(err, boom) {
-		t.Fatalf("error not propagated: %v", err)
+	tables, err := RunSuite(sections, Options{WindowMs: 0.1}, 2)
+	// Every section failure survives the errors.Join aggregation...
+	if !errors.Is(err, boom) || !errors.Is(err, bang) {
+		t.Fatalf("errors not aggregated: %v", err)
+	}
+	// ...and the completed tables still come back (nil slots mark the
+	// failures), so callers can write a partial diagnostic artifact.
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3", len(tables))
+	}
+	if tables[0] == nil || tables[0].Name != "ok" {
+		t.Errorf("completed section lost on partial failure: %+v", tables[0])
+	}
+	if tables[1] != nil || tables[2] != nil {
+		t.Errorf("failed sections must have nil tables: %v %v", tables[1], tables[2])
+	}
+	if a := Artifact("test", 0.1, nil, tables); len(a.Experiments) != 1 {
+		t.Errorf("partial artifact should carry the 1 completed experiment, got %d", len(a.Experiments))
+	}
+}
+
+// TestRunSuiteFullSweep drives every real section — including the
+// wrapper closures Suite builds (breakdowns, apimicro, sensitivity) —
+// through a shared farm at a tiny window, and validates the artifact.
+func TestRunSuiteFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite sweep")
+	}
+	farm := NewFarm(4)
+	defer farm.Close()
+	opt := Options{WindowMs: 0.2, Sizes: []int{1024}, Systems: []string{SysNoIOMMU, SysCopy}, Farm: farm}
+	sections := Suite(true)
+	tables, err := RunSuite(sections, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tb := range tables {
+		if tb == nil {
+			t.Fatalf("section %q produced no table", sections[i].Name)
+		}
+	}
+	a := Artifact("test", opt.WindowMs, nil, tables)
+	if err := a.Validate(); err != nil {
+		t.Errorf("full-suite artifact must validate: %v", err)
+	}
+	if s := farm.Stats(); s.Executed == 0 || s.Executed != s.Submitted {
+		t.Errorf("farm did not drain: %+v", s)
+	}
+}
+
+func TestWriteArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.json")
+	tbl := &Table{Name: "x", Title: "X"}
+	tbl.Point("copy", "1KB", map[string]float64{"gbps": 1})
+	if err := WriteArtifact(path, "test", 1, nil, tbl); err != nil {
+		t.Fatal(err)
+	}
+	a, err := report.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Experiments) != 1 || a.CreatedAt == "" {
+		t.Errorf("artifact round trip lost data: %+v", a)
 	}
 }
 

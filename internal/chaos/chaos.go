@@ -50,6 +50,12 @@ type Config struct {
 	// Policy is the fault-domain policy for the resilient variants; zero
 	// fields take scenario-appropriate defaults (scenarios may override).
 	Policy resilience.Policy
+	// Farm, when non-nil, runs a scenario's three variants as parallel
+	// farm tasks. Each variant builds its own engine and machine, so the
+	// variants share no state; a nil Farm runs them serially (bench.Farm's
+	// nil receiver) with identical results — the merge is in canonical
+	// variant order either way.
+	Farm *bench.Farm
 }
 
 func (c Config) norm() Config {

@@ -82,6 +82,49 @@ func TestFaultStormDeterminism(t *testing.T) {
 	}
 }
 
+func TestFindScenario(t *testing.T) {
+	for _, sc := range Scenarios {
+		got, err := Find(sc.Name)
+		if err != nil || got.Name != sc.Name {
+			t.Errorf("Find(%q) = %v, %v", sc.Name, got.Name, err)
+		}
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find must reject unknown scenarios")
+	}
+}
+
+// TestScenariosFarmParallelMatchSerial runs every scenario once serially
+// (nil Farm) and once with the three variants fanned across a 4-worker
+// farm, and requires identical metric maps: the farm must not change a
+// single number, only when the work happens.
+func TestScenariosFarmParallelMatchSerial(t *testing.T) {
+	farm := bench.NewFarm(4)
+	defer farm.Close()
+	for _, sc := range Scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			serial, err := sc.Run(Config{Seed: 7, WindowMs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := sc.Run(Config{Seed: 7, WindowMs: 1, Farm: farm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range []string{"baseline", "resilience", "unprotected"} {
+				ms, mp := variantMetrics(t, serial, v), variantMetrics(t, parallel, v)
+				if !reflect.DeepEqual(ms, mp) {
+					t.Errorf("%s: serial and farm runs disagree:\n  serial:   %v\n  parallel: %v", v, ms, mp)
+				}
+			}
+			if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+				t.Errorf("rendered rows disagree:\n  serial:   %v\n  parallel: %v", serial.Rows, parallel.Rows)
+			}
+		})
+	}
+}
+
 func TestIOVAScanBounded(t *testing.T) {
 	tb, err := IOVAScan(Config{Seed: 1})
 	if err != nil {

@@ -22,6 +22,13 @@ type Scenario struct {
 	Run   func(Config) (*bench.Table, error)
 }
 
+// scenarioOut is one variant's result, merged in canonical variant order
+// after all of a scenario's farm tasks finish.
+type scenarioOut struct {
+	gbps float64
+	ms   map[string]float64
+}
+
 // Scenarios lists every chaos experiment, in report order.
 var Scenarios = []Scenario{
 	{"faultstorm", "Fault storm from a hostile device", FaultStorm},
@@ -85,42 +92,48 @@ func FaultStorm(cfg Config) (*bench.Table, error) {
 	}
 	t.SetWinner("gbps", false)
 
-	var baseGbps float64
-	run := func(name string, attack, resilient bool) error {
-		mc, err := newMachine(cfg, variant{resilient: resilient, policy: pol})
+	variants := []struct {
+		name              string
+		attack, resilient bool
+	}{
+		{"baseline", false, true},
+		{"resilience", true, true},
+		{"unprotected", true, false},
+	}
+	outs := make([]scenarioOut, len(variants))
+	err := cfg.Farm.Map(len(variants), func(i int) error {
+		v := variants[i]
+		mc, err := newMachine(cfg, variant{resilient: v.resilient, policy: pol})
 		if err != nil {
-			return err
+			return fmt.Errorf("faultstorm/%s: %w", v.name, err)
 		}
 		rs := mc.runVictim(cfg, window, func(mc *machine) {
-			if attack {
+			if v.attack {
 				rng := rand.New(rand.NewSource(cfg.Seed))
 				scheduleStorm(mc, rng, attackStart, window, 1000, 16)
 			}
 		})
-		ms := mc.metrics(rs, attackStart)
-		if name == "baseline" {
-			baseGbps = rs.Gbps
-		}
+		outs[i] = scenarioOut{gbps: rs.Gbps, ms: mc.metrics(rs, attackStart)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Containment is relative to the baseline variant's goodput, so it can
+	// only be computed after the merge — variants run concurrently.
+	baseGbps := outs[0].gbps
+	for i, v := range variants {
+		ms := outs[i].ms
 		contain := 0.0
 		if baseGbps > 0 {
-			contain = 100 * rs.Gbps / baseGbps
+			contain = 100 * outs[i].gbps / baseGbps
 		}
 		ms["containment_pct"] = contain
-		t.Point(name, cfg.System, ms)
-		t.AddRow(name, fmtGbps(rs.Gbps), fmt.Sprintf("%.1f", contain),
+		t.Point(v.name, cfg.System, ms)
+		t.AddRow(v.name, fmtGbps(outs[i].gbps), fmt.Sprintf("%.1f", contain),
 			fmt.Sprintf("%.0f", ms["faults"]), fmt.Sprintf("%.0f", ms["blocked_dmas"]),
 			fmt.Sprintf("%.0f", ms["quarantines"]), fmt.Sprintf("%.0f", ms["readmits"]),
 			fmt.Sprintf("%.1f", ms["time_to_quarantine_us"]), fmt.Sprintf("%.0f", ms["faultring_overflow"]))
-		return nil
-	}
-	if err := run("baseline", false, true); err != nil {
-		return nil, err
-	}
-	if err := run("resilience", true, true); err != nil {
-		return nil, err
-	}
-	if err := run("unprotected", true, false); err != nil {
-		return nil, err
 	}
 	return t, nil
 }
@@ -189,10 +202,20 @@ func IOVAScan(cfg Config) (*bench.Table, error) {
 	}
 	t.SetWinner("gbps", false)
 
-	run := func(name string, attack, resilient bool) error {
-		mc, err := newMachine(cfg, variant{resilient: resilient, policy: pol})
+	variants := []struct {
+		name              string
+		attack, resilient bool
+	}{
+		{"baseline", false, true},
+		{"resilience", true, true},
+		{"unprotected", true, false},
+	}
+	outs := make([]scenarioOut, len(variants))
+	err := cfg.Farm.Map(len(variants), func(i int) error {
+		v := variants[i]
+		mc, err := newMachine(cfg, variant{resilient: v.resilient, policy: pol})
 		if err != nil {
-			return err
+			return fmt.Errorf("iovascan/%s: %w", v.name, err)
 		}
 		// The attacker's own live window: a normally-operating device has
 		// some mappings; the scanner hunts for exactly such windows.
@@ -207,7 +230,7 @@ func IOVAScan(cfg Config) (*bench.Table, error) {
 		}
 		sc := &scanner{}
 		rs := mc.runVictim(cfg, window, func(mc *machine) {
-			if attack {
+			if v.attack {
 				scheduleScan(mc, sc, scanBase, scanSpan, attackStart, window, 2000, 8)
 			}
 		})
@@ -216,21 +239,19 @@ func IOVAScan(cfg Config) (*bench.Table, error) {
 		ms["scan_hits"] = float64(sc.hits)
 		ms["scan_faults"] = float64(sc.faults)
 		ms["scan_blocked"] = float64(sc.blocked)
-		t.Point(name, cfg.System, ms)
-		t.AddRow(name, fmtGbps(rs.Gbps),
-			fmt.Sprintf("%d", sc.attempts), fmt.Sprintf("%d", sc.hits),
-			fmt.Sprintf("%d", sc.faults), fmt.Sprintf("%d", sc.blocked),
-			fmt.Sprintf("%.0f", ms["quarantines"]))
+		outs[i] = scenarioOut{gbps: rs.Gbps, ms: ms}
 		return nil
-	}
-	if err := run("baseline", false, true); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("resilience", true, true); err != nil {
-		return nil, err
-	}
-	if err := run("unprotected", true, false); err != nil {
-		return nil, err
+	for i, v := range variants {
+		ms := outs[i].ms
+		t.Point(v.name, cfg.System, ms)
+		t.AddRow(v.name, fmtGbps(outs[i].gbps),
+			fmt.Sprintf("%.0f", ms["scan_attempts"]), fmt.Sprintf("%.0f", ms["scan_hits"]),
+			fmt.Sprintf("%.0f", ms["scan_faults"]), fmt.Sprintf("%.0f", ms["scan_blocked"]),
+			fmt.Sprintf("%.0f", ms["quarantines"]))
 	}
 	return t, nil
 }
@@ -255,36 +276,43 @@ func QueueStall(cfg Config) (*bench.Table, error) {
 	}
 	t.SetWinner("gbps", false)
 
-	run := func(name string, stallOn, ite bool) error {
+	variants := []struct {
+		name         string
+		stallOn, ite bool
+	}{
+		{"baseline", false, true},
+		{"resilience", true, true},
+		{"unprotected", true, false},
+	}
+	outs := make([]scenarioOut, len(variants))
+	err := cfg.Farm.Map(len(variants), func(i int) error {
+		v := variants[i]
 		mc, err := newMachine(cfg, variant{resilient: true, policy: chaosPolicy()})
 		if err != nil {
-			return err
+			return fmt.Errorf("queuestall/%s: %w", v.name, err)
 		}
-		if ite {
+		if v.ite {
 			mc.u.Queue.Timeout = 2048
 			mc.u.Queue.MaxRetries = 1
 		}
 		rs := mc.runVictim(cfg, window, func(mc *machine) {
-			if stallOn {
+			if v.stallOn {
 				mc.eng.Schedule(phaseStart, func(uint64) { mc.u.Queue.StallCycles = stall })
 				mc.eng.Schedule(phaseEnd, func(uint64) { mc.u.Queue.StallCycles = 0 })
 			}
 		})
-		ms := mc.metrics(rs, phaseStart)
-		t.Point(name, cfg.System, ms)
-		t.AddRow(name, fmtGbps(rs.Gbps),
+		outs[i] = scenarioOut{gbps: rs.Gbps, ms: mc.metrics(rs, phaseStart)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		ms := outs[i].ms
+		t.Point(v.name, cfg.System, ms)
+		t.AddRow(v.name, fmtGbps(outs[i].gbps),
 			fmt.Sprintf("%.0f", ms["invq_timeouts"]), fmt.Sprintf("%.0f", ms["invq_recoveries"]),
 			fmt.Sprintf("%.0f", ms["frames"]))
-		return nil
-	}
-	if err := run("baseline", false, true); err != nil {
-		return nil, err
-	}
-	if err := run("resilience", true, true); err != nil {
-		return nil, err
-	}
-	if err := run("unprotected", true, false); err != nil {
-		return nil, err
 	}
 	return t, nil
 }
@@ -338,17 +366,27 @@ func PoolSqueeze(cfg Config) (*bench.Table, error) {
 	}
 	t.SetWinner("gbps", false)
 
-	run := func(name string, squeeze, ladder bool) error {
+	variants := []struct {
+		name            string
+		squeeze, ladder bool
+	}{
+		{"baseline", false, true},
+		{"resilience", true, true},
+		{"unprotected", true, false},
+	}
+	outs := make([]scenarioOut, len(variants))
+	err := cfg.Farm.Map(len(variants), func(i int) error {
+		sv := variants[i]
 		v := variant{resilient: true, policy: chaosPolicy(), observe: true}
-		if squeeze {
-			v.mapperFn = squeezeMapper(ladder)
+		if sv.squeeze {
+			v.mapperFn = squeezeMapper(sv.ladder)
 		}
 		mc, err := newMachine(cfg, v)
 		if err != nil {
-			return err
+			return fmt.Errorf("poolsqueeze/%s: %w", sv.name, err)
 		}
 		rs := mc.runVictim(cfg, window, func(mc *machine) {
-			if squeeze {
+			if sv.squeeze {
 				// Anchor the pressure phase on actual bring-up completion
 				// so the injected failures hit pool growth, never the
 				// driver's own setup kmallocs.
@@ -360,22 +398,19 @@ func PoolSqueeze(cfg Config) (*bench.Table, error) {
 				}
 			}
 		})
-		ms := mc.metrics(rs, 0)
-		t.Point(name, cfg.System, ms)
-		t.AddRow(name, fmtGbps(rs.Gbps),
+		outs[i] = scenarioOut{gbps: rs.Gbps, ms: mc.metrics(rs, 0)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sv := range variants {
+		ms := outs[i].ms
+		t.Point(sv.name, cfg.System, ms)
+		t.AddRow(sv.name, fmtGbps(outs[i].gbps),
 			fmt.Sprintf("%.0f", ms["degraded_retries"]), fmt.Sprintf("%.0f", ms["degraded_spills"]),
 			fmt.Sprintf("%.0f", ms["backpressure_fails"]+ms["backpressure_drops"]),
 			fmt.Sprintf("%.0f", ms["datapath_dead"]), fmt.Sprintf("%.0f", ms["resilience_cycles"]))
-		return nil
-	}
-	if err := run("baseline", false, true); err != nil {
-		return nil, err
-	}
-	if err := run("resilience", true, true); err != nil {
-		return nil, err
-	}
-	if err := run("unprotected", true, false); err != nil {
-		return nil, err
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package iova
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -152,8 +153,8 @@ func TestMagazineCachesPerCore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.CacheMisses != 1 {
-		t.Errorf("misses = %d", m.CacheMisses)
+	if got := m.Stats().CacheMisses; got != 1 {
+		t.Errorf("misses = %d", got)
 	}
 	if err := m.Free(0, v, 1); err != nil {
 		t.Fatal(err)
@@ -162,8 +163,8 @@ func TestMagazineCachesPerCore(t *testing.T) {
 	if v2 != v {
 		t.Error("same-core alloc should hit the magazine")
 	}
-	if m.CacheHits != 1 {
-		t.Errorf("hits = %d", m.CacheHits)
+	if got := m.Stats().CacheHits; got != 1 {
+		t.Errorf("hits = %d", got)
 	}
 	// A different core does not see core 0's magazine.
 	m.Free(0, v2, 1)
@@ -188,8 +189,12 @@ func TestMagazineSpills(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if m.Spills == 0 {
+	if m.Stats().Spills == 0 {
 		t.Error("overflowing the magazine should spill to the backend")
+	}
+	// Spilled ranges went back to the shared tree.
+	if m.Backend().Outstanding() == 0 && m.Outstanding() != 0 {
+		t.Error("backend lost the spilled ranges")
 	}
 	if m.Outstanding() != 0 {
 		t.Errorf("outstanding = %d, want 0", m.Outstanding())
@@ -207,6 +212,79 @@ func TestMagazineSizeSegregation(t *testing.T) {
 	}
 	if m.Outstanding() != 2 {
 		t.Errorf("outstanding = %d, want 2", m.Outstanding())
+	}
+}
+
+// TestMagazineStatsRace exercises the stats counters from concurrent
+// goroutines, mimicking the bench Farm running one engine per OS thread
+// while an observer snapshots allocator stats. Each goroutine stays on its
+// own core's magazine (the backend tree is not thread-safe and a warm
+// magazine never touches it), so the only shared state is the counters —
+// which is exactly what `go test -race` must find clean.
+func TestMagazineStatsRace(t *testing.T) {
+	const cores = 4
+	m := NewMagazine(cores, 0, 1<<20, 8)
+	// Warm each core's magazine serially: one miss, then the range parks
+	// in the per-core stack so the concurrent loops below are hit-only.
+	warm := make([]iommu.IOVA, cores)
+	for c := 0; c < cores; c++ {
+		v, err := m.Alloc(c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm[c] = v
+		if err := m.Free(c, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const iters = 5000
+	done := make(chan error, cores)
+	stop := make(chan struct{})
+	for c := 0; c < cores; c++ {
+		c := c
+		go func() {
+			for i := 0; i < iters; i++ {
+				v, err := m.Alloc(c, 1)
+				if err != nil {
+					done <- err
+					return
+				}
+				if v != warm[c] {
+					done <- fmt.Errorf("core %d: alloc missed its magazine", c)
+					return
+				}
+				if err := m.Free(c, v, 1); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	// Concurrent stats reader — the access pattern the race detector
+	// flagged when the counters were plain uint64 fields.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.Stats()
+			}
+		}
+	}()
+	for c := 0; c < cores; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	s := m.Stats()
+	if s.CacheHits != cores*iters {
+		t.Errorf("hits = %d, want %d", s.CacheHits, cores*iters)
+	}
+	if s.CacheMisses != cores {
+		t.Errorf("misses = %d, want %d", s.CacheMisses, cores)
 	}
 }
 

@@ -2,6 +2,7 @@ package iova
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/iommu"
 )
@@ -17,8 +18,27 @@ type MagazineAllocator struct {
 	// mags[core][npages] is that core's stack of cached ranges.
 	mags []map[int][]iommu.IOVA
 
-	// Stats
+	// Stats. Atomic: inside one engine the simulator's park/resume
+	// handshake orders all accesses, but the bench Farm runs many
+	// engines on real OS threads, and a stats reader (obs publishing,
+	// sweep-end merges) must be able to observe any allocator without a
+	// data race. Plain uint64 increments here were the counters the race
+	// detector flagged first (see TestMagazineStatsRace).
+	cacheHits, cacheMisses, spills atomic.Uint64
+}
+
+// MagazineStats is a coherent snapshot of the allocator's counters.
+type MagazineStats struct {
 	CacheHits, CacheMisses, Spills uint64
+}
+
+// Stats snapshots the magazine counters (safe from any goroutine).
+func (m *MagazineAllocator) Stats() MagazineStats {
+	return MagazineStats{
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+		Spills:      m.spills.Load(),
+	}
 }
 
 // NewMagazine creates a magazine allocator over a fresh backend tree
@@ -66,10 +86,10 @@ func (m *MagazineAllocator) Alloc(core, npages int) (iommu.IOVA, error) {
 	if len(stack) > 0 {
 		addr := stack[len(stack)-1]
 		m.mags[core][npages] = stack[:len(stack)-1]
-		m.CacheHits++
+		m.cacheHits.Add(1)
 		return addr, nil
 	}
-	m.CacheMisses++
+	m.cacheMisses.Add(1)
 	return m.backend.Alloc(core, npages)
 }
 
@@ -81,7 +101,7 @@ func (m *MagazineAllocator) Free(core int, addr iommu.IOVA, npages int) error {
 	}
 	stack := append(m.mags[core][npages], addr)
 	if len(stack) > m.cap {
-		m.Spills++
+		m.spills.Add(1)
 		spill := len(stack) / 2
 		for _, a := range stack[:spill] {
 			if err := m.backend.Free(core, a, npages); err != nil {

@@ -99,6 +99,40 @@ func PublishNIC(r *Registry, n *nic.NIC) {
 	r.Counter("nic.tx.quarantine_drops", n.TxQuarantineDrops)
 }
 
+// FarmStats is the scheduler snapshot of a bench.Farm (the host-side
+// work-stealing sweep pool). Defined here so the pool can publish through
+// the registry without an import cycle. All values are host-time based
+// and informational — they must never enter a benchdiff-gated artifact.
+type FarmStats struct {
+	// Workers is the pool size (0 for a nil/serial farm).
+	Workers int
+	// Submitted / Executed count sweep points enqueued and completed.
+	Submitted, Executed uint64
+	// Steals counts points executed by a worker other than the deque
+	// they were dealt to (load imbalance made visible).
+	Steals uint64
+	// Panics counts points that died and were converted to errors.
+	Panics uint64
+	// QueueHWM is the high-water mark of queued-but-unstarted points.
+	QueueHWM int
+	// UtilPct is each worker's busy time as a percentage of the farm's
+	// lifetime so far.
+	UtilPct []float64
+}
+
+// PublishFarm records a sweep pool's scheduler metrics under farm.*.
+func PublishFarm(r *Registry, s FarmStats) {
+	r.Counter("farm.submitted", s.Submitted)
+	r.Counter("farm.executed", s.Executed)
+	r.Counter("farm.steals", s.Steals)
+	r.Counter("farm.panics", s.Panics)
+	r.Gauge("farm.workers", float64(s.Workers))
+	r.Gauge("farm.queue_hwm", float64(s.QueueHWM))
+	for _, u := range s.UtilPct {
+		r.Observe("farm.worker_util_pct", u)
+	}
+}
+
 // PublishMapper records one protection strategy's DMA-API statistics under
 // dma.<strategy>.*.
 func PublishMapper(r *Registry, name string, st dmaapi.Stats) {

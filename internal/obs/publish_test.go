@@ -80,3 +80,30 @@ func TestPublishNaming(t *testing.T) {
 		t.Error("Snapshot.String() empty")
 	}
 }
+
+func TestPublishFarm(t *testing.T) {
+	r := NewRegistry()
+	PublishFarm(r, FarmStats{
+		Workers:   4,
+		Submitted: 100,
+		Executed:  100,
+		Steals:    7,
+		Panics:    1,
+		QueueHWM:  42,
+		UtilPct:   []float64{90, 80, 70, 60},
+	})
+	s := r.Snapshot()
+	for name, want := range map[string]uint64{
+		"farm.submitted": 100,
+		"farm.executed":  100,
+		"farm.steals":    7,
+		"farm.panics":    1,
+	} {
+		if s.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, s.Counters[name], want)
+		}
+	}
+	if s.Gauges["farm.workers"] != 4 || s.Gauges["farm.queue_hwm"] != 42 {
+		t.Errorf("farm gauges wrong: %v", s.Gauges)
+	}
+}

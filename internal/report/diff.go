@@ -139,6 +139,21 @@ func Diff(a, b *Artifact, opt DiffOptions) (*DiffReport, error) {
 	return r, nil
 }
 
+// hostTimeMetric reports whether a metric name records host wall-clock
+// time rather than simulated time. Host time varies run to run (machine
+// load, parallelism, CPU count), so such metrics are informational and
+// must never enter the comparison on either side — exactly like the
+// structural Experiment.WallMs and Artifact.CreatedAt fields, which the
+// diff never reads.
+func hostTimeMetric(name string) bool {
+	switch name {
+	case "wall_ms", "wall_us", "wall_s", "host_ms", "elapsed_ms", "created_at":
+		return true
+	}
+	return strings.HasPrefix(name, "wall_") || strings.HasPrefix(name, "host_") ||
+		strings.HasPrefix(name, "farm.")
+}
+
 func diffExperiment(r *DiffReport, ea, eb *Experiment, opt DiffOptions) {
 	for i := range ea.Series {
 		sa := &ea.Series[i]
@@ -156,6 +171,9 @@ func diffExperiment(r *DiffReport, ea, eb *Experiment, opt DiffOptions) {
 				continue
 			}
 			for _, metric := range sortedKeys(pa.Metrics) {
+				if hostTimeMetric(metric) {
+					continue
+				}
 				va := pa.Metrics[metric]
 				vb, ok := pb.Metrics[metric]
 				if !ok {

@@ -116,6 +116,55 @@ func TestDiffIdenticalPasses(t *testing.T) {
 	}
 }
 
+// TestDiffIgnoresHostTime builds two artifacts that differ ONLY in host
+// wall-clock records — Artifact.CreatedAt, Experiment.WallMs, and a
+// wall_ms metric smuggled into a point — and asserts zero drift. Host
+// time varies with machine load and -parallel, so letting it into the
+// gate would make every baseline comparison flaky.
+func TestDiffIgnoresHostTime(t *testing.T) {
+	mkArtifact := func(created string, wallMs, metricWall float64) *Artifact {
+		a := sampleArtifact()
+		a.CreatedAt = created
+		a.Experiments[0].WallMs = wallMs
+		for i := range a.Experiments[0].Series {
+			for j := range a.Experiments[0].Series[i].Points {
+				a.Experiments[0].Series[i].Points[j].Metrics["wall_ms"] = metricWall
+			}
+		}
+		return a
+	}
+	a := mkArtifact("2026-01-01T00:00:00Z", 120, 3.5)
+	b := mkArtifact("2026-06-30T12:34:56Z", 987, 99.9)
+	r, err := Diff(a, clone(t, b), DiffOptions{Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() || len(r.Changes) != 0 || len(r.Flips) != 0 {
+		t.Fatalf("wall-time-only differences must not drift:\n%s", r)
+	}
+	// A host-time metric missing from B must not count as a regression
+	// either (older artifacts predate the metric).
+	c := clone(t, b)
+	for i := range c.Experiments[0].Series {
+		for j := range c.Experiments[0].Series[i].Points {
+			delete(c.Experiments[0].Series[i].Points[j].Metrics, "wall_ms")
+		}
+	}
+	r, err = Diff(a, c, DiffOptions{Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() || len(r.Missing) != 0 {
+		t.Fatalf("missing host-time metric must not fail the gate:\n%s", r)
+	}
+	// Sanity: the skip is surgical — a real metric moving still fails.
+	d := clone(t, b)
+	d.Experiments[0].Series[0].Points[0].Metrics["gbps"] = 1
+	if r, _ := Diff(a, d, DiffOptions{Tol: 0}); r.OK() {
+		t.Fatal("real metric change must still fail")
+	}
+}
+
 func TestDiffFlagsRegression(t *testing.T) {
 	a := sampleArtifact()
 	b := clone(t, a)
