@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-smoke smoke baseline chaos-smoke chaos-baseline bench profile fuzz fuzz-smoke cover doc-check ci
+.PHONY: build vet test race race-smoke smoke baseline scale-smoke scale-baseline bench-json chaos-smoke chaos-baseline bench profile fuzz fuzz-smoke cover doc-check ci
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,8 @@ race:
 # race on shared state fails fast without the cost of `make race`.
 race-smoke:
 	$(GO) test -race -count=1 \
-		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace' \
-		./internal/bench/ ./internal/chaos/ ./internal/iova/
+		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace|Fig1Extended|ParallelHost' \
+		./internal/bench/ ./internal/chaos/ ./internal/iova/ ./internal/shadow/
 
 # Fast end-to-end check: regenerate the full evaluation at a 1 ms window,
 # write the machine-readable artifact, and gate it against the committed
@@ -35,6 +35,27 @@ smoke:
 # the cost model or experiments; review the diff before committing).
 baseline:
 	$(GO) run ./cmd/reproduce -window 1 -skip-sensitivity -json ci/baseline.json > /dev/null
+
+# Many-core scale gate: regenerate the Figure 1 extension (six systems x
+# {1,4,16,64,128} cores, farmed) and diff it against the committed scale
+# baseline. Simulated metrics are deterministic at any -parallel, so
+# identical code must diff clean; only the farm.* host stats may differ
+# (diff-exempt).
+scale-smoke:
+	$(GO) run ./cmd/reproduce -window 2 -skip-sensitivity -experiment fig1ext -json /tmp/SCALE_smoke.json > /dev/null
+	$(GO) run ./cmd/benchdiff ci/scale-baseline.json /tmp/SCALE_smoke.json
+
+# Regenerate the committed scale baseline (after an intentional change to
+# the cost model or the fig1ext experiment; review the diff first).
+scale-baseline:
+	$(GO) run ./cmd/reproduce -window 2 -skip-sensitivity -experiment fig1ext -json ci/scale-baseline.json > /dev/null
+
+# Host-side scale benchmark artifact: engine dispatch ns/op at 16/64/128
+# procs plus wall time and allocs/op for the 16/64/128-core strict-RX
+# simulation points. Host-dependent (never gated); committed each PR as
+# BENCH_scale.json so the dispatch/allocation trend is tracked in-repo.
+bench-json:
+	$(GO) run ./cmd/scalebench -json BENCH_scale.json
 
 # Resilience smoke: run the fault-injection scenarios (fault storm, IOVA
 # scan, queue stall, pool squeeze) at fixed seed and gate the artifact
@@ -105,4 +126,4 @@ cover:
 doc-check:
 	$(GO) run ./ci/doccheck
 
-ci: vet test race race-smoke smoke chaos-smoke fuzz-smoke cover doc-check
+ci: vet test race race-smoke smoke scale-smoke chaos-smoke fuzz-smoke cover doc-check

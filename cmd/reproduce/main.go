@@ -158,8 +158,9 @@ func main() {
 		}
 		fmt.Printf("Chrome trace written to %s (load at https://ui.perfetto.dev)\n\n", *traceFile)
 	}
-	// Farm scheduling stats go to stderr: host-time numbers must never
-	// enter the report or the artifact (doc/FARM.md).
+	// Farm scheduling stats go to stderr for humans, and into the artifact
+	// as diff-exempt farm.* metrics (report.Diff ignores them, like
+	// wall_*/host_*) so a stored artifact records how it was produced.
 	fs := farm.Stats()
 	var util float64
 	for _, u := range fs.UtilPct {
@@ -179,6 +180,7 @@ func main() {
 		if runTable1 {
 			all = append([]*bench.Table{t1.tbl}, tables...)
 		}
+		all = append(all, bench.FarmTable(fs))
 		a := bench.Artifact("reproduce", *window, nil, all)
 		a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 		if runTable1 {

@@ -1,0 +1,148 @@
+// Command scalebench measures HOST-side performance of the simulation
+// substrate at many-core scale: the engine's cross-proc dispatch cost (a
+// pure scheduler microbenchmark at 64/128 procs) and the wall clock + heap
+// allocations of full single-point simulations at 16/64/128 simulated
+// cores. Its artifact (BENCH_scale.json, written by `make bench-json`) is
+// committed each PR so the cross-PR host-performance trajectory is visible
+// in git history; every metric is host_-prefixed and therefore diff-exempt
+// (report.Diff skips host time), so committing it can never gate CI.
+//
+//	go run ./cmd/scalebench -json BENCH_scale.json
+//
+// Simulated throughputs are included (gbps) purely as context: they are
+// deterministic and change only with the cost model, never with host load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+// dispatchPoint runs a pure scheduler workload: procs simulated cores,
+// each doing interleaved Work slices so (nearly) every yield is a
+// cross-proc dispatch, the pattern that dominates many-core simulations.
+// Returns host ns and heap allocations per engine dispatch.
+func dispatchPoint(procs int, windowCycles uint64) (nsPerDispatch, allocsPerDispatch float64, dispatches uint64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	e := sim.NewEngine()
+	for c := 0; c < procs; c++ {
+		d := uint64(7 + c%13) // co-prime-ish slice lengths: timestamps interleave
+		e.Spawn(fmt.Sprintf("w%d", c), c, 0, func(p *sim.Proc) {
+			for {
+				p.Work("w", d)
+			}
+		})
+	}
+	e.Run(windowCycles)
+	wall := time.Since(start)
+	e.Stop()
+	runtime.ReadMemStats(&after)
+	dispatches = e.Dispatches()
+	if dispatches == 0 {
+		return 0, 0, 0
+	}
+	return float64(wall.Nanoseconds()) / float64(dispatches),
+		float64(after.Mallocs-before.Mallocs) / float64(dispatches),
+		dispatches
+}
+
+// simPoint runs one full benchmark machine (strict zero-copy RX — the
+// paper's most scheduler- and allocator-intensive system) at the given
+// simulated core count and returns host wall ms, allocations per simulated
+// DMA op, and the simulated throughput for context.
+func simPoint(cores int, windowMs float64) (wallMs, allocsPerOp, gbps float64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	cfg := bench.DefaultConfig(bench.SysLinuxStrict, bench.RX, cores, 16384)
+	cfg.WindowMs = windowMs
+	r, err := bench.Run(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ops := r.Ops
+	if ops == 0 {
+		ops = 1
+	}
+	return float64(wall.Microseconds()) / 1000,
+		float64(after.Mallocs-before.Mallocs) / float64(ops),
+		r.Gbps, nil
+}
+
+func main() {
+	jsonOut := flag.String("json", "BENCH_scale.json", "artifact output path")
+	window := flag.Float64("window", 0.5, "simulated ms per sim point")
+	reps := flag.Int("reps", 3, "repetitions per point (best wall clock wins)")
+	flag.Parse()
+
+	t := &bench.Table{
+		Name:  "scale",
+		Title: "Host-side scale trajectory: engine dispatch cost and many-core sim points",
+		Note: fmt.Sprintf("host metrics (host_*) are machine-dependent and diff-exempt; window %.2f ms; best of %d reps",
+			*window, *reps),
+		Columns: []string{"point", "host ns/dispatch", "host allocs/dispatch", "host wall ms", "host allocs/op", "Gb/s"},
+	}
+
+	for _, procs := range []int{64, 128} {
+		bestNs, bestAllocs := 0.0, 0.0
+		var disp uint64
+		for i := 0; i < *reps; i++ {
+			ns, al, d := dispatchPoint(procs, 100_000)
+			if i == 0 || ns < bestNs {
+				bestNs, bestAllocs, disp = ns, al, d
+			}
+		}
+		label := fmt.Sprintf("%d procs", procs)
+		t.AddRow("dispatch "+label, fmt.Sprintf("%.1f", bestNs), fmt.Sprintf("%.3f", bestAllocs), "-", "-", "-")
+		t.Point("dispatch", label, map[string]float64{
+			"host_ns_per_dispatch":     bestNs,
+			"host_allocs_per_dispatch": bestAllocs,
+			"host_dispatches":          float64(disp),
+		})
+		fmt.Printf("dispatch %-9s %8.1f ns/dispatch  %6.3f allocs/dispatch  (%d dispatches)\n",
+			label, bestNs, bestAllocs, disp)
+	}
+
+	for _, cores := range []int{16, 64, 128} {
+		bestWall, bestAllocs, gbps := 0.0, 0.0, 0.0
+		for i := 0; i < *reps; i++ {
+			w, al, g, err := simPoint(cores, *window)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scalebench: %d cores: %v\n", cores, err)
+				os.Exit(1)
+			}
+			if i == 0 || w < bestWall {
+				bestWall, bestAllocs, gbps = w, al, g
+			}
+		}
+		label := fmt.Sprintf("%d cores", cores)
+		t.AddRow("strict-rx "+label, "-", "-", fmt.Sprintf("%.1f", bestWall), fmt.Sprintf("%.1f", bestAllocs), fmt.Sprintf("%.2f", gbps))
+		t.Point("strict-rx", label, map[string]float64{
+			"host_wall_ms":       bestWall,
+			"host_allocs_per_op": bestAllocs,
+			"gbps":               gbps,
+		})
+		fmt.Printf("strict-rx %-9s %8.1f ms wall  %8.1f allocs/op  %6.2f Gb/s\n",
+			label, bestWall, bestAllocs, gbps)
+	}
+
+	if *jsonOut != "" {
+		if err := bench.WriteArtifact(*jsonOut, "scalebench", *window, nil, t); err != nil {
+			fmt.Fprintf(os.Stderr, "scalebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("artifact written to %s\n", *jsonOut)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+// Tiny-window sanity runs of both measurement kernels: the numbers are
+// host-dependent, so the test only checks structural invariants — work
+// happened, rates are finite and positive, and the sim point reports the
+// deterministic throughput.
+func TestDispatchPoint(t *testing.T) {
+	ns, allocs, dispatches := dispatchPoint(8, 5_000)
+	if dispatches == 0 {
+		t.Fatal("no dispatches executed")
+	}
+	if ns <= 0 {
+		t.Errorf("ns/dispatch = %v, want > 0", ns)
+	}
+	if allocs < 0 || allocs > 100 {
+		t.Errorf("allocs/dispatch = %v, want small and non-negative", allocs)
+	}
+}
+
+func TestSimPoint(t *testing.T) {
+	wallMs, allocsPerOp, gbps, err := simPoint(2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wallMs <= 0 {
+		t.Errorf("wall ms = %v, want > 0", wallMs)
+	}
+	if allocsPerOp < 0 {
+		t.Errorf("allocs/op = %v, want >= 0", allocsPerOp)
+	}
+	if gbps <= 0 {
+		t.Errorf("gbps = %v, want > 0 (strict RX delivers frames)", gbps)
+	}
+}

@@ -201,6 +201,70 @@ func Fig1(opt Options) (*Table, error) {
 	return t, nil
 }
 
+// Fig1Extended goes where the paper never went: the Figure 1 TCP RX
+// workload swept to 64 and 128 simulated cores (the paper stops at 16),
+// for every protection model, with the spinlock-attribution column that
+// explains the strict models' collapse — at high core counts the
+// IOVA-allocator and invalidation-queue locks serialize everything, so
+// lock cycles per op is the figure's real story. All 30 points fan out
+// across the shared farm; the merge is canonical-order, so the table is
+// byte-identical at any worker count.
+func Fig1Extended(opt Options) (*Table, error) {
+	if len(opt.Systems) == 0 {
+		opt.Systems = AllSystems
+	}
+	coreCounts := []int{1, 4, 16, 64, 128}
+	t := &Table{
+		Name:  "fig1ext",
+		Title: "Figure 1 extended (beyond paper): TCP RX Gb/s at 1-128 cores, 1500B packets",
+		Note:  "lock us/op = spinlock wait attributed per frame at 64/128 cores",
+		Columns: []string{"system", "1 core", "4 cores", "16 cores", "64 cores", "128 cores",
+			"lock us/op @64", "lock us/op @128"},
+	}
+	t.SetWinner("gbps", false)
+	systems := opt.systems()
+	results := make([]Result, len(systems)*len(coreCounts))
+	err := opt.farm().Map(len(results), func(i int) error {
+		sys, cores := systems[i/len(coreCounts)], coreCounts[i%len(coreCounts)]
+		cfg := DefaultConfig(sys, RX, cores, 16384)
+		opt.applyTo(&cfg)
+		r, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%d cores: %w", sys, cores, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sys := range systems {
+		row := []string{sys}
+		var lock64, lock128 float64
+		for ci, cores := range coreCounts {
+			r := results[si*len(coreCounts)+ci]
+			row = append(row, f2(r.Gbps))
+			lock := r.PerOp[cycles.TagSpinlock]
+			switch cores {
+			case 64:
+				lock64 = lock
+			case 128:
+				lock128 = lock
+			}
+			t.Point(sys, fmt.Sprintf("%d cores", cores), map[string]float64{
+				"gbps":           r.Gbps,
+				"cpu_pct":        r.CPUPct,
+				"spinlock_us_op": lock,
+				"iotlb_hit_rate": r.IOTLBHitRate,
+				"rx_drops":       float64(r.RxDrops),
+			})
+		}
+		row = append(row, f2(lock64), f2(lock128))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
 // Fig3 reproduces Figure 3: single-core TCP receive.
 func Fig3(opt Options) (*Table, error) {
 	res, err := StreamSweep(RX, 1, opt)

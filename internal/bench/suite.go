@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cycles"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -23,6 +24,7 @@ type Section struct {
 func Suite(includeSensitivity bool) []Section {
 	s := []Section{
 		{"fig1", Fig1},
+		{"fig1ext", Fig1Extended},
 		{"fig3", Fig3},
 		{"fig4", Fig4},
 		{"fig5a", func(o Options) (*Table, error) { t, _, err := Breakdown(RX, 1, o); return t, err }},
@@ -97,6 +99,39 @@ func RunSuite(sections []Section, opt Options, parallelism int) ([]*Table, error
 	}
 	wg.Wait()
 	return tables, errors.Join(errs...)
+}
+
+// FarmTable packages a farm's scheduling counters as a one-point table
+// whose metrics all carry the "farm." prefix. Those metrics are host-time
+// observations, so report.Diff exempts them from the regression gate
+// (like wall_* / host_*): they ride along in the artifact for
+// observability without ever being able to fail a comparison.
+func FarmTable(fs obs.FarmStats) *Table {
+	var util float64
+	for _, u := range fs.UtilPct {
+		util += u
+	}
+	if len(fs.UtilPct) > 0 {
+		util /= float64(len(fs.UtilPct))
+	}
+	t := &Table{
+		Name:    "farm",
+		Title:   "Farm scheduling stats (host-time, diff-exempt)",
+		Columns: []string{"workers", "points", "steals", "queue hwm", "mean util %"},
+	}
+	t.Point("farm", "stats", map[string]float64{
+		"farm.workers":       float64(fs.Workers),
+		"farm.submitted":     float64(fs.Submitted),
+		"farm.executed":      float64(fs.Executed),
+		"farm.steals":        float64(fs.Steals),
+		"farm.panics":        float64(fs.Panics),
+		"farm.queue_hwm":     float64(fs.QueueHWM),
+		"farm.mean_util_pct": util,
+	})
+	t.AddRow(fmt.Sprintf("%d", fs.Workers), fmt.Sprintf("%d", fs.Executed),
+		fmt.Sprintf("%d", fs.Steals), fmt.Sprintf("%d", fs.QueueHWM),
+		fmt.Sprintf("%.0f", util))
+	return t
 }
 
 // Artifact bundles tables into a machine-readable artifact (see

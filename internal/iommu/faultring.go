@@ -137,7 +137,7 @@ func (u *IOMMU) BlockedDevices() int { return len(u.blocked) }
 func (u *IOMMU) WipeDomain(dev DeviceID) uint64 {
 	d := u.DomainFor(dev)
 	n := d.mappedPages
-	d.root = &ptNode{}
+	d.resetRoot()
 	d.mappedPages = 0
 	d.wipeDebt += n
 	u.tlb.InvalidateDevice(dev)

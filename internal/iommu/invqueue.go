@@ -81,7 +81,9 @@ func (q *InvQueue) submit(p *sim.Proc, effect func()) uint64 {
 	done := start + q.costs.IOTLBInvalidateHW + q.StallCycles
 	q.hwFreeAt = done
 	q.Submitted++
-	q.u.Trace.Emit(p.Now(), trace.CatInval, "submitted, hw completes at %d", done)
+	if q.u.Trace.Enabled() {
+		q.u.Trace.Emit(p.Now(), trace.CatInval, "submitted, hw completes at %d", done)
+	}
 	q.eng.Schedule(done, func(uint64) {
 		effect()
 		q.Completed++
@@ -129,7 +131,9 @@ func (q *InvQueue) WaitForErr(p *sim.Proc, t uint64) error {
 	}
 	q.WaitFor(p, p.Now()+q.Timeout)
 	q.Timeouts++
-	q.u.Trace.Emit(p.Now(), trace.CatInval, "ITE: completion %d still pending", t)
+	if q.u.Trace.Enabled() {
+		q.u.Trace.Emit(p.Now(), trace.CatInval, "ITE: completion %d still pending", t)
+	}
 	return ErrInvTimeout
 }
 

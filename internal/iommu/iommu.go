@@ -176,8 +176,10 @@ func (u *IOMMU) Map(dev DeviceID, iova IOVA, phys mem.Phys, size int, perm Perm)
 		d.set(pg, pte{pfn: pfn + (pg - first), perm: perm, valid: true})
 	}
 	d.mappedPages += last - first + 1
-	u.Trace.Emit(u.eng.Now(), trace.CatMap, "dev %d iova %#x -> phys %#x size %d perm %s",
-		dev, uint64(iova), uint64(phys), size, perm)
+	if u.Trace.Enabled() { // guard: the vararg boxing allocates even when tracing is off
+		u.Trace.Emit(u.eng.Now(), trace.CatMap, "dev %d iova %#x -> phys %#x size %d perm %s",
+			dev, uint64(iova), uint64(phys), size, perm)
+	}
 	return nil
 }
 
@@ -213,7 +215,9 @@ func (u *IOMMU) Unmap(dev DeviceID, iova IOVA, size int) error {
 		}
 		d.wipeDebt -= missing
 	}
-	u.Trace.Emit(u.eng.Now(), trace.CatUnmap, "dev %d iova %#x size %d", dev, uint64(iova), size)
+	if u.Trace.Enabled() {
+		u.Trace.Emit(u.eng.Now(), trace.CatUnmap, "dev %d iova %#x size %d", dev, uint64(iova), size)
+	}
 	return nil
 }
 
@@ -281,7 +285,9 @@ func (u *IOMMU) fault(dev DeviceID, iova IOVA, want Perm, reason string) *Fault 
 	u.FaultCount++
 	f := Fault{Dev: dev, Addr: iova, Want: want, Reason: reason, At: u.eng.Now()}
 	u.ring.Push(f)
-	u.Trace.Emit(f.At, trace.CatFault, "dev %d iova %#x want %s: %s", dev, uint64(iova), want, reason)
+	if u.Trace.Enabled() {
+		u.Trace.Emit(f.At, trace.CatFault, "dev %d iova %#x want %s: %s", dev, uint64(iova), want, reason)
+	}
 	if u.FaultHook != nil {
 		u.FaultHook(f)
 	}

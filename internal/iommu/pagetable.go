@@ -11,6 +11,15 @@ type Domain struct {
 	// owners have not yet unmapped them; those later unmaps are tolerated
 	// (see IOMMU.Unmap) instead of erroring as double-unmaps.
 	wipeDebt uint64
+
+	// Last-leaf cache: datapath map/unmap/translate traffic is strongly
+	// clustered (a queue's buffers tile a few leaf nodes), so remembering
+	// the last leaf visited turns most walks into one compare. leafKey is
+	// page >> ptLevelBits, unique per leaf node. The cache is host-side
+	// only — it changes which pointers are chased, never the PTE values
+	// observed.
+	leaf    *ptNode
+	leafKey uint64
 }
 
 const (
@@ -25,9 +34,14 @@ type pte struct {
 	valid bool
 }
 
+// ptNode is one radix node. Interior nodes populate children; leaf nodes
+// populate ptes. The role-specific slices are allocated on first use so a
+// node only ever pays for the array its level needs (a combined
+// fixed-array struct made every node ~16 KiB, which at 128 queues of
+// mapped rings dominated the simulator's resident set).
 type ptNode struct {
-	children [ptFanout]*ptNode // interior levels
-	ptes     [ptFanout]pte     // leaf level only
+	children []*ptNode
+	ptes     []pte
 }
 
 func newDomain(dev DeviceID) *Domain {
@@ -40,59 +54,75 @@ func (d *Domain) Dev() DeviceID { return d.dev }
 // MappedPages returns the number of currently mapped IOVA pages.
 func (d *Domain) MappedPages() uint64 { return d.mappedPages }
 
-// indices decomposes an IOVA page number into the per-level radix indices,
-// most significant level first.
-func indices(page uint64) [ptLevels]int {
-	var ix [ptLevels]int
-	for l := ptLevels - 1; l >= 0; l-- {
-		ix[ptLevels-1-l] = int((page >> (uint(l) * ptLevelBits)) & (ptFanout - 1))
+// resetRoot replaces the page table with an empty one (quarantine wipe),
+// dropping the leaf cache with it.
+func (d *Domain) resetRoot() {
+	d.root = &ptNode{}
+	d.leaf = nil
+	d.leafKey = 0
+}
+
+// leafFor walks to the leaf node covering page, optionally creating the
+// path. It returns nil when the path is absent and create is false.
+func (d *Domain) leafFor(page uint64, create bool) *ptNode {
+	key := page >> ptLevelBits
+	if d.leaf != nil && d.leafKey == key {
+		return d.leaf
 	}
-	return ix
+	n := d.root
+	for l := ptLevels - 1; l >= 1; l-- {
+		idx := int((page >> (uint(l) * ptLevelBits)) & (ptFanout - 1))
+		if n.children == nil {
+			if !create {
+				return nil
+			}
+			n.children = make([]*ptNode, ptFanout)
+		}
+		next := n.children[idx]
+		if next == nil {
+			if !create {
+				return nil
+			}
+			next = &ptNode{}
+			n.children[idx] = next
+		}
+		n = next
+	}
+	if n.ptes == nil {
+		if !create {
+			return nil
+		}
+		n.ptes = make([]pte, ptFanout)
+	}
+	d.leaf, d.leafKey = n, key
+	return n
 }
 
 // lookup walks the page table for an IOVA page.
 func (d *Domain) lookup(page uint64) (pte, bool) {
-	ix := indices(page)
-	n := d.root
-	for l := 0; l < ptLevels-1; l++ {
-		n = n.children[ix[l]]
-		if n == nil {
-			return pte{}, false
-		}
+	n := d.leafFor(page, false)
+	if n == nil {
+		return pte{}, false
 	}
-	e := n.ptes[ix[ptLevels-1]]
+	e := n.ptes[page&(ptFanout-1)]
 	return e, e.valid
 }
 
 // set installs a leaf PTE, allocating interior nodes on demand.
 func (d *Domain) set(page uint64, e pte) {
-	ix := indices(page)
-	n := d.root
-	for l := 0; l < ptLevels-1; l++ {
-		next := n.children[ix[l]]
-		if next == nil {
-			next = &ptNode{}
-			n.children[ix[l]] = next
-		}
-		n = next
-	}
-	n.ptes[ix[ptLevels-1]] = e
+	d.leafFor(page, true).ptes[page&(ptFanout-1)] = e
 }
 
 // clear removes a leaf PTE, reporting whether it was present. Interior
 // nodes are retained (as Linux retains page-table pages until a flush).
 func (d *Domain) clear(page uint64) bool {
-	ix := indices(page)
-	n := d.root
-	for l := 0; l < ptLevels-1; l++ {
-		n = n.children[ix[l]]
-		if n == nil {
-			return false
-		}
-	}
-	if !n.ptes[ix[ptLevels-1]].valid {
+	n := d.leafFor(page, false)
+	if n == nil {
 		return false
 	}
-	n.ptes[ix[ptLevels-1]] = pte{}
+	if !n.ptes[page&(ptFanout-1)].valid {
+		return false
+	}
+	n.ptes[page&(ptFanout-1)] = pte{}
 	return true
 }

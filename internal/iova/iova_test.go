@@ -3,6 +3,8 @@ package iova
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/iommu"
@@ -324,4 +326,67 @@ func BenchmarkMagazineAllocFree(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestShardedInstancesParallelHost runs independent allocator instances in
+// real goroutines doing mixed-size alloc/free churn — the bench Farm's
+// usage pattern, where each worker owns a full machine. The sharded
+// range-index maps, the extent recycler and the size-segregated magazine
+// stacks are all per-instance, so any race `go test -race` finds here is
+// hidden shared state in the package itself.
+func TestShardedInstancesParallelHost(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			m := NewMagazine(2, 0, 1<<24, 8)
+			rng := rand.New(rand.NewSource(seed))
+			type held struct {
+				addr   iommu.IOVA
+				npages int
+				core   int
+			}
+			var live []held
+			for i := 0; i < 3000; i++ {
+				if len(live) > 0 && (rng.Intn(2) == 0 || len(live) > 64) {
+					j := rng.Intn(len(live))
+					h := live[j]
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if err := m.Free(h.core, h.addr, h.npages); err != nil {
+						t.Errorf("worker %d: free: %v", seed, err)
+						return
+					}
+					continue
+				}
+				// Mix small (magazine stacks) and large (spill map) sizes.
+				npages := 1 + rng.Intn(20)
+				if rng.Intn(8) == 0 {
+					npages = smallMagSizes + 1 + rng.Intn(16)
+				}
+				core := rng.Intn(2)
+				v, err := m.Alloc(core, npages)
+				if err != nil {
+					t.Errorf("worker %d: alloc %d pages: %v", seed, npages, err)
+					return
+				}
+				live = append(live, held{v, npages, core})
+			}
+			for _, h := range live {
+				if err := m.Free(h.core, h.addr, h.npages); err != nil {
+					t.Errorf("worker %d: final free: %v", seed, err)
+					return
+				}
+			}
+			if out := m.Outstanding(); out != 0 {
+				t.Errorf("worker %d: %d pages outstanding after full teardown", seed, out)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
 }

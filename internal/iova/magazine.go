@@ -15,8 +15,8 @@ import (
 type MagazineAllocator struct {
 	backend *TreeAllocator
 	cap     int
-	// mags[core][npages] is that core's stack of cached ranges.
-	mags []map[int][]iommu.IOVA
+	// mags[core] holds that core's per-size stacks of cached ranges.
+	mags []coreMag
 
 	// Stats. Atomic: inside one engine the simulator's park/resume
 	// handshake orders all accesses, but the bench Farm runs many
@@ -25,6 +25,19 @@ type MagazineAllocator struct {
 	// data race. Plain uint64 increments here were the counters the race
 	// detector flagged first (see TestMagazineStatsRace).
 	cacheHits, cacheMisses, spills atomic.Uint64
+}
+
+// smallMagSizes is the largest npages served by the direct-indexed
+// per-core stacks. Nearly every datapath allocation is a handful of pages
+// (a 1500-byte buffer is one page; TSO aggregates stay under 64 KiB), so
+// the hot path is an array index instead of a map lookup per alloc/free.
+const smallMagSizes = 16
+
+// coreMag is one core's magazine set: direct-indexed stacks for small
+// range sizes, a lazily created map for anything bigger.
+type coreMag struct {
+	small [smallMagSizes][]iommu.IOVA // index npages-1
+	large map[int][]iommu.IOVA
 }
 
 // MagazineStats is a coherent snapshot of the allocator's counters.
@@ -50,15 +63,11 @@ func NewMagazine(cores int, loPage, hiPage uint64, cap int) *MagazineAllocator {
 	if cap < 1 {
 		cap = 64
 	}
-	m := &MagazineAllocator{
+	return &MagazineAllocator{
 		backend: NewTree(loPage, hiPage),
 		cap:     cap,
-		mags:    make([]map[int][]iommu.IOVA, cores),
+		mags:    make([]coreMag, cores),
 	}
-	for i := range m.mags {
-		m.mags[i] = make(map[int][]iommu.IOVA)
-	}
-	return m
 }
 
 // Backend exposes the shared tree (for stats/tests).
@@ -69,8 +78,12 @@ func (m *MagazineAllocator) Backend() *TreeAllocator { return m.backend }
 // we report the caller's view.
 func (m *MagazineAllocator) Outstanding() uint64 {
 	cached := uint64(0)
-	for _, mm := range m.mags {
-		for n, stack := range mm {
+	for i := range m.mags {
+		cm := &m.mags[i]
+		for n := range cm.small {
+			cached += uint64(n+1) * uint64(len(cm.small[n]))
+		}
+		for n, stack := range cm.large {
 			cached += uint64(n) * uint64(len(stack))
 		}
 	}
@@ -82,10 +95,17 @@ func (m *MagazineAllocator) Alloc(core, npages int) (iommu.IOVA, error) {
 	if core < 0 || core >= len(m.mags) {
 		return 0, fmt.Errorf("iova: bad core %d", core)
 	}
-	stack := m.mags[core][npages]
-	if len(stack) > 0 {
+	cm := &m.mags[core]
+	if npages >= 1 && npages <= smallMagSizes {
+		if stack := cm.small[npages-1]; len(stack) > 0 {
+			addr := stack[len(stack)-1]
+			cm.small[npages-1] = stack[:len(stack)-1]
+			m.cacheHits.Add(1)
+			return addr, nil
+		}
+	} else if stack := cm.large[npages]; len(stack) > 0 {
 		addr := stack[len(stack)-1]
-		m.mags[core][npages] = stack[:len(stack)-1]
+		cm.large[npages] = stack[:len(stack)-1]
 		m.cacheHits.Add(1)
 		return addr, nil
 	}
@@ -99,7 +119,16 @@ func (m *MagazineAllocator) Free(core int, addr iommu.IOVA, npages int) error {
 	if core < 0 || core >= len(m.mags) {
 		return fmt.Errorf("iova: bad core %d", core)
 	}
-	stack := append(m.mags[core][npages], addr)
+	cm := &m.mags[core]
+	var stack []iommu.IOVA
+	if npages >= 1 && npages <= smallMagSizes {
+		stack = append(cm.small[npages-1], addr)
+	} else {
+		if cm.large == nil {
+			cm.large = make(map[int][]iommu.IOVA)
+		}
+		stack = append(cm.large[npages], addr)
+	}
 	if len(stack) > m.cap {
 		m.spills.Add(1)
 		spill := len(stack) / 2
@@ -110,6 +139,10 @@ func (m *MagazineAllocator) Free(core int, addr iommu.IOVA, npages int) error {
 		}
 		stack = append(stack[:0], stack[spill:]...)
 	}
-	m.mags[core][npages] = stack
+	if npages >= 1 && npages <= smallMagSizes {
+		cm.small[npages-1] = stack
+	} else {
+		cm.large[npages] = stack
+	}
 	return nil
 }

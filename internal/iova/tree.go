@@ -29,13 +29,33 @@ type Allocator interface {
 // allocator it relies on a caller-held spinlock, whose cost the DMA-API
 // layer charges.
 type TreeAllocator struct {
-	root     *extent
-	lo, hi   uint64 // free page-number range covered, [lo, hi)
-	allocMap map[uint64]int
+	root   *extent
+	lo, hi uint64 // free page-number range covered, [lo, hi)
+
+	// The allocated-range index (start page -> pages) is sharded by a
+	// hash of the start page: per-core magazine misses from different
+	// simulated cores land in different small maps instead of rehashing
+	// one monolithic one. Sharding is pure host-side bookkeeping — it
+	// records allocations, never chooses them — so allocation order and
+	// addresses are bit-identical to the single-map layout.
+	allocMap [allocShards]map[uint64]int
+
+	// freeExt chains recycled AVL nodes (through left) so steady-state
+	// alloc/free churn stops hitting the host heap.
+	freeExt *extent
 
 	// Stats
 	Allocs, Frees, Failed uint64
 	outstanding           uint64
+}
+
+const (
+	allocShardBits = 4
+	allocShards    = 1 << allocShardBits
+)
+
+func allocShard(page uint64) uint64 {
+	return (page * 0x9e3779b97f4a7c15) >> (64 - allocShardBits)
 }
 
 type extent struct {
@@ -50,7 +70,10 @@ func NewTree(loPage, hiPage uint64) *TreeAllocator {
 	if hiPage <= loPage {
 		panic("iova: empty range")
 	}
-	t := &TreeAllocator{lo: loPage, hi: hiPage, allocMap: make(map[uint64]int)}
+	t := &TreeAllocator{lo: loPage, hi: hiPage}
+	for i := range t.allocMap {
+		t.allocMap[i] = make(map[uint64]int)
+	}
 	t.root = t.insert(t.root, loPage, hiPage-loPage)
 	return t
 }
@@ -78,7 +101,7 @@ func (t *TreeAllocator) Alloc(_ int, npages int) (iommu.IOVA, error) {
 		e.size -= n
 		t.fixupPath(t.root, e.start)
 	}
-	t.allocMap[start] = npages
+	t.allocMap[allocShard(start)][start] = npages
 	t.Allocs++
 	t.outstanding += n
 	return iommu.IOVA(start << mem.PageShift), nil
@@ -88,14 +111,15 @@ func (t *TreeAllocator) Alloc(_ int, npages int) (iommu.IOVA, error) {
 // free extents.
 func (t *TreeAllocator) Free(_ int, addr iommu.IOVA, npages int) error {
 	start := addr.Page()
-	got, ok := t.allocMap[start]
+	shard := t.allocMap[allocShard(start)]
+	got, ok := shard[start]
 	if !ok {
 		return fmt.Errorf("iova: free of unallocated %#x", uint64(addr))
 	}
 	if got != npages {
 		return fmt.Errorf("iova: free size mismatch at %#x: %d vs %d", uint64(addr), npages, got)
 	}
-	delete(t.allocMap, start)
+	delete(shard, start)
 	n := uint64(npages)
 	// Coalesce with predecessor (free extent ending at start) and
 	// successor (free extent beginning at start+n).
@@ -188,9 +212,23 @@ func balance(e *extent) *extent {
 	return e
 }
 
+func (t *TreeAllocator) newExtent(start, size uint64) *extent {
+	if e := t.freeExt; e != nil {
+		t.freeExt = e.left
+		*e = extent{start: start, size: size, height: 1, maxSize: size}
+		return e
+	}
+	return &extent{start: start, size: size, height: 1, maxSize: size}
+}
+
+func (t *TreeAllocator) recycle(e *extent) {
+	e.left, e.right = t.freeExt, nil
+	t.freeExt = e
+}
+
 func (t *TreeAllocator) insert(e *extent, start, size uint64) *extent {
 	if e == nil {
-		return &extent{start: start, size: size, height: 1, maxSize: size}
+		return t.newExtent(start, size)
 	}
 	if start < e.start {
 		e.left = t.insert(e.left, start, size)
@@ -211,10 +249,14 @@ func (t *TreeAllocator) remove(e *extent, start uint64) *extent {
 		e.right = t.remove(e.right, start)
 	default:
 		if e.left == nil {
-			return e.right
+			r := e.right
+			t.recycle(e)
+			return r
 		}
 		if e.right == nil {
-			return e.left
+			l := e.left
+			t.recycle(e)
+			return l
 		}
 		// Replace with in-order successor.
 		s := e.right

@@ -18,8 +18,28 @@ type Kmalloc struct {
 	// bySlabBase maps a slab's base PFN to its slab, for Free.
 	bySlab map[uint64]*slab
 
+	// Slab headers are carved from chunked arenas: pointers stay stable
+	// (chunks are never reallocated) while the per-grow header allocation
+	// amortizes to 1/slabChunk. A 1500-byte buffer lands in the 2048
+	// class — two objects per page — so many-core RX setup grows
+	// thousands of slabs.
+	slabArena []slab
+	arenaUsed int
+
 	// Stats
 	Allocs, Frees uint64
+}
+
+const slabChunk = 256
+
+func (k *Kmalloc) newSlab() *slab {
+	if k.arenaUsed == len(k.slabArena) {
+		k.slabArena = make([]slab, slabChunk)
+		k.arenaUsed = 0
+	}
+	s := &k.slabArena[k.arenaUsed]
+	k.arenaUsed++
+	return s
 }
 
 type slabCache struct {
@@ -32,8 +52,11 @@ type slab struct {
 	base    Phys
 	pages   int
 	objSize int
-	free    []int // free object indices
+	free    []int // free object indices (LIFO; backed by inline when small)
 	inuse   int
+	// inline backs free for classes with few objects per page (≥512
+	// bytes), avoiding a heap slice per slab.
+	inline [8]int
 }
 
 // DefaultClasses mirrors common kmalloc size classes.
@@ -102,7 +125,13 @@ func (k *Kmalloc) grow(domain int, cache *slabCache) error {
 		return err
 	}
 	n := PageSize / cache.objSize
-	s := &slab{cache: cache, base: base, pages: 1, objSize: cache.objSize, free: make([]int, 0, n)}
+	s := k.newSlab()
+	*s = slab{cache: cache, base: base, pages: 1, objSize: cache.objSize}
+	if n <= len(s.inline) {
+		s.free = s.inline[:0]
+	} else {
+		s.free = make([]int, 0, n)
+	}
 	// Hand out low indices first so consecutive allocations are adjacent
 	// (worst case for sub-page exposure, as in a real slab).
 	for i := n - 1; i >= 0; i-- {

@@ -176,7 +176,7 @@ func (d *Driver) handleRx(p *sim.Proc, q *nic.Queue, c nic.RxCompletion, msgSize
 		p.SpanEnter("rx")
 		defer p.SpanExit()
 	}
-	buf := c.Desc.Tag.(mem.Buf)
+	buf := c.Desc.Tag
 	if err := d.mapper.Unmap(p, c.Desc.Addr, buf.Size, dmaapi.FromDevice); err != nil {
 		return err
 	}
@@ -297,7 +297,7 @@ func (d *Driver) HandleRxRaw(p *sim.Proc, qi int, c nic.RxCompletion) ([]byte, e
 		defer p.SpanExit()
 	}
 	q := d.n.Queue(qi)
-	buf := c.Desc.Tag.(mem.Buf)
+	buf := c.Desc.Tag
 	if err := d.mapper.Unmap(p, c.Desc.Addr, buf.Size, dmaapi.FromDevice); err != nil {
 		return nil, err
 	}

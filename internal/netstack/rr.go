@@ -83,7 +83,7 @@ func (d *Driver) sendMessage(p *sim.Proc, q *nic.Queue, pool *TxPool, msgSize in
 	st.Messages++
 	drain := func() error {
 		for _, dd := range q.DrainTx() {
-			used := dd.Tag.(mem.Buf)
+			used := dd.Tag
 			if err := d.mapper.Unmap(p, dd.Addr, used.Size, dmaapi.ToDevice); err != nil {
 				return err
 			}

@@ -2,15 +2,18 @@ package nic
 
 import (
 	"repro/internal/iommu"
+	"repro/internal/mem"
 )
 
 // Desc is a DMA descriptor: an IOVA handed to the device plus a length.
 type Desc struct {
 	Addr iommu.IOVA
 	Len  int
-	// Tag carries driver-private context (e.g. which buffer backs the
-	// descriptor); the device never interprets it.
-	Tag interface{}
+	// Tag carries the driver-private backing buffer for the descriptor;
+	// the device never interprets it. It is a concrete mem.Buf rather
+	// than interface{} so posting a descriptor never boxes (one heap
+	// allocation per posted buffer at interface{}).
+	Tag mem.Buf
 }
 
 // Ring is a fixed-size circular descriptor ring. The driver posts at the

@@ -42,6 +42,29 @@ type Source struct {
 	BytesSent    uint64
 
 	scratch []byte
+
+	// In-flight frames, delivered FIFO: per source the scheduled delivery
+	// times are monotonic (Wire.Reserve is) and the engine is FIFO for
+	// equal timestamps, so one cached callback popping from the front
+	// replaces a fresh closure per frame. Default-payload frames (zeros
+	// plus a 2-byte length header) carry data == nil and are regenerated
+	// at delivery from deliverBuf — a credit-limited source can hold tens
+	// of thousands of frames in flight, and materializing each one was
+	// the single largest item in the host heap profile. Frames from a
+	// payload hook are copied as before, into recycled buffers.
+	pending    []pendingFrame
+	pendingAt  int
+	free       [][]byte
+	deliverBuf []byte // all-zero past byte 1; headers patched in place
+	deliverCb  func(at uint64)
+	timerCb    func(now uint64)
+}
+
+// pendingFrame is one frame on the wire. data == nil means default
+// payload, reconstructed at delivery time from ln alone.
+type pendingFrame struct {
+	ln   int
+	data []byte
 }
 
 // NewSource creates a traffic source feeding queue q.
@@ -58,6 +81,11 @@ func NewSource(eng *sim.Engine, q *Queue, costs *cycles.Costs, msgSize, mtu int,
 	}
 	if costs.RemoteSyscallsPerSec > 0 {
 		s.interval = cycles.Hz / costs.RemoteSyscallsPerSec
+	}
+	s.deliverCb = s.deliver
+	s.timerCb = func(now uint64) {
+		s.timerArmed = false
+		s.pump(now)
 	}
 	q.SetCreditHook(func(now uint64) { s.pump(now) })
 	return s
@@ -133,34 +161,68 @@ func (s *Source) pump(now uint64) {
 			s.frameOffset = 0
 			s.msgSeq++
 		}
-		payload := s.scratch[:frame]
+		pf := pendingFrame{ln: frame}
 		if s.payload != nil {
+			// Hook-generated content must be captured at send time (the
+			// hook may be stateful); copy it into a recycled buffer. The
+			// bytes match a fresh allocation because copy overwrites the
+			// whole slice.
+			payload := s.scratch[:frame]
 			s.payload(seq, frameIdx, payload)
-		} else {
-			for i := range payload {
-				payload[i] = 0
+			if n := len(s.free); n > 0 {
+				pf.data = s.free[n-1][:frame]
+				s.free = s.free[:n-1]
+			} else {
+				pf.data = make([]byte, frame, s.mtu)
 			}
-			// Default wire format: a 2-byte length header, standing in
-			// for the IP total-length field that the paper's copying
-			// hint parses (§5.4).
-			if frame >= 2 {
-				payload[0] = byte(frame >> 8)
-				payload[1] = byte(frame)
-			}
+			copy(pf.data, payload)
 		}
-		// Copy for the in-flight frame (DeliverFrame runs later).
-		data := make([]byte, frame)
-		copy(data, payload)
 		end := s.wire.Reserve(now, frame) + s.costs.DMALatency
 		s.inflight++
 		s.FramesSent++
 		s.BytesSent += uint64(frame)
-		s.eng.Schedule(end, func(at uint64) {
-			s.inflight--
-			s.q.DeliverFrame(at, data)
-			s.pump(at)
-		})
+		s.pending = append(s.pending, pf)
+		s.eng.Schedule(end, s.deliverCb)
 	}
+}
+
+// deliver completes the oldest in-flight frame (engine context). One
+// scheduled deliverCb exists per pending entry and per-source delivery is
+// FIFO, so popping the front is always the frame this callback was
+// scheduled for. DeliverFrame consumes the payload synchronously (the DMA
+// write copies it into simulated memory), so buffers are shared/recycled
+// immediately after.
+func (s *Source) deliver(at uint64) {
+	pf := s.pending[s.pendingAt]
+	s.pending[s.pendingAt] = pendingFrame{}
+	s.pendingAt++
+	if s.pendingAt == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.pendingAt = 0
+	}
+	s.inflight--
+	data := pf.data
+	if data == nil {
+		// Default wire format: a 2-byte length header, standing in for
+		// the IP total-length field that the paper's copying hint parses
+		// (§5.4), over an all-zero body. deliverBuf is zero past byte 1
+		// by construction, so only the header needs patching.
+		if s.deliverBuf == nil {
+			s.deliverBuf = make([]byte, s.mtu)
+		}
+		data = s.deliverBuf[:pf.ln]
+		if pf.ln >= 2 {
+			data[0] = byte(pf.ln >> 8)
+			data[1] = byte(pf.ln)
+		} else if pf.ln == 1 {
+			data[0] = 0
+		}
+	}
+	s.q.DeliverFrame(at, data)
+	if pf.data != nil {
+		s.free = append(s.free, pf.data[:cap(pf.data)])
+	}
+	s.pump(at)
 }
 
 func (s *Source) armTimer(at uint64) {
@@ -168,8 +230,5 @@ func (s *Source) armTimer(at uint64) {
 		return
 	}
 	s.timerArmed = true
-	s.eng.Schedule(at, func(now uint64) {
-		s.timerArmed = false
-		s.pump(now)
-	})
+	s.eng.Schedule(at, s.timerCb)
 }

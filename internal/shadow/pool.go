@@ -98,6 +98,30 @@ type domainState struct {
 	// length (the class's chunks-per-page), so any spare base fits any
 	// later reservation of the same class.
 	spare [][]uint64
+	arena metaArena
+}
+
+// metaArena carves Meta structs out of chunked slabs instead of
+// allocating each individually: a 128-core machine creates hundreds of
+// thousands of Metas during warm-up, and slab-backed headers keep them
+// dense in the host heap. Pointers are stable — chunks are never
+// reallocated — and the modeled free-list semantics are untouched (a Meta
+// is a Meta regardless of where its storage lives).
+type metaArena struct {
+	chunk []Meta
+	used  int
+}
+
+const metaChunk = 512
+
+func (a *metaArena) alloc() *Meta {
+	if a.used == len(a.chunk) {
+		a.chunk = make([]Meta, metaChunk)
+		a.used = 0
+	}
+	m := &a.chunk[a.used]
+	a.used++
+	return m
 }
 
 // reserve claims a span of `chunks` metadata indices for one class,
@@ -141,6 +165,7 @@ type fallbackState struct {
 	lock  *sim.Spinlock
 	table map[iommu.IOVA]*Meta
 	alloc *iova.MagazineAllocator
+	arena metaArena // guarded by lock
 }
 
 // lockCosts builds the pool's spinlocks from the cost model.
@@ -349,7 +374,8 @@ func (p *Pool) grow(proc *sim.Proc, core, class, ri int) (*Meta, error) {
 		metas = make([]*Meta, chunks)
 		for i := 0; i < chunks; i++ {
 			idx := base + uint64(i)
-			m := &Meta{
+			m := ds.arena.alloc()
+			*m = Meta{
 				core: core, rights: ri, class: class, index: idx,
 				iova:   p.enc.encode(core, ri, class, idx),
 				shadow: mem.Buf{Addr: phys + mem.Phys(i*classSize), Size: classSize},
@@ -385,7 +411,8 @@ func (p *Pool) growFallback(proc *sim.Proc, core, class, ri int, phys mem.Phys, 
 	metas := make([]*Meta, chunks)
 	p.fb.lock.Lock(proc)
 	for i := 0; i < chunks; i++ {
-		m := &Meta{
+		m := p.fb.arena.alloc()
+		*m = Meta{
 			core: core, rights: ri, class: class, isFB: true,
 			iova:   base + iommu.IOVA(i*classSize),
 			shadow: mem.Buf{Addr: phys + mem.Phys(i*classSize), Size: classSize},

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -35,6 +36,31 @@ func BenchmarkEngineFenceContended(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run(^uint64(0))
+}
+
+// BenchmarkEngineDispatch measures the many-proc scheduling cost that
+// dominates 64/128-core simulations: P procs at interleaved timestamps,
+// every fence a cross-proc handoff through the baton dispatch (one
+// channel send per switch, timer heap at depth P). ns/op is per fence of
+// one proc; the b.N work is split across procs so total dispatches stay
+// comparable between sizes.
+func BenchmarkEngineDispatch(b *testing.B) {
+	for _, procs := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			e := NewEngine()
+			per := b.N/procs + 1
+			for c := 0; c < procs; c++ {
+				e.Spawn("w", c, 0, func(p *Proc) {
+					for i := 0; i < per; i++ {
+						p.Work("bench", 10)
+					}
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			e.Run(^uint64(0))
+		})
+	}
 }
 
 // BenchmarkEngineTimerChurn measures the arm/cancel pattern of the

@@ -14,19 +14,33 @@ import (
 
 // Engine is the simulation scheduler. Create one with NewEngine, add Procs
 // with Spawn and hardware callbacks with Schedule, then call Run.
+//
+// Dispatch is baton-passing: whichever goroutine currently runs (the Run
+// caller or a simulated proc) pops the next wake item and either executes
+// it inline (callbacks, or the proc's own re-wake) or hands the baton to
+// the target proc with a single channel send. A cross-proc switch
+// therefore costs one goroutine handoff instead of the classic two
+// (proc->scheduler, scheduler->proc), which dominates many-core runs where
+// nearly every yield switches procs. Dispatch order is identical to a
+// central scheduler popping the same heap, so virtual-time results are
+// bit-identical; noFastYield selects the retained central scheduler
+// (runReference) to prove it.
 type Engine struct {
 	now      uint64
 	seq      uint64
 	pq       []wakeItem // 4-ary min-heap ordered by (at, seq)
+	far      []wakeItem // items beyond the current window's horizon
 	limit    uint64     // current Run's `until` (valid while running)
 	parked   chan struct{}
 	procs    []*Proc
+	panicked *Proc // proc whose panic must propagate out of Run
 	stopping bool
 	running  bool
 
 	// noFastYield forces every fence/sleep through the park/resume slow
-	// path (the pre-optimization dispatch semantics). Tests use it to
-	// prove the fast path cannot reorder the simulation.
+	// path and every dispatch through the central reference scheduler
+	// (the pre-optimization semantics). Tests use it to prove the
+	// baton/fast paths cannot reorder the simulation.
 	noFastYield bool
 
 	// obs, when set via SetObserver before Spawn, is handed to every
@@ -48,8 +62,13 @@ func NewEngine() *Engine {
 // Now returns the engine's current virtual time in cycles.
 func (e *Engine) Now() uint64 { return e.now }
 
-// Procs returns all spawned procs (for stats collection).
-func (e *Engine) Procs() []*Proc { return e.procs }
+// Procs returns a snapshot of all spawned procs (for stats collection).
+// The slice is a copy; mutating it cannot alias engine state.
+func (e *Engine) Procs() []*Proc {
+	out := make([]*Proc, len(e.procs))
+	copy(out, e.procs)
+	return out
+}
 
 // Dispatches returns how many queue items the engine dispatched (proc
 // resumes and callback invocations; lazily dropped cancelled timers and
@@ -76,7 +95,10 @@ type wakeItem struct {
 // (at, seq). Compared to container/heap this avoids the interface{} boxing
 // allocation on every push/pop and the indirect Less/Swap calls; the wider
 // fanout halves the tree depth, which matters because the queue is touched
-// on every fence of every proc.
+// on every fence of every proc. Items that cannot fire inside the current
+// Run window (at > limit) are parked in the flat `far` list instead, so
+// long-TTL timers never dilute the hot heap; mergeFar moves them back when
+// a later window can reach them.
 
 func wakeLess(a, b *wakeItem) bool {
 	if a.at != b.at {
@@ -103,7 +125,38 @@ func (e *Engine) pushRaw(it wakeItem) {
 func (e *Engine) push(it wakeItem) {
 	it.seq = e.seq
 	e.seq++
+	if e.running && it.at > e.limit {
+		e.far = append(e.far, it)
+		return
+	}
 	e.pushRaw(it)
+}
+
+// mergeFar moves far-horizon items the new window can reach back into the
+// wake heap, discarding timers cancelled while parked there. Heap order is
+// restored exactly because items keep their original seq.
+func (e *Engine) mergeFar() {
+	if len(e.far) == 0 {
+		return
+	}
+	old := e.far
+	kept := old[:0]
+	for i := range old {
+		it := old[i]
+		if it.t != nil && it.t.cancelled {
+			e.lazyDrops++
+			continue
+		}
+		if it.at <= e.limit {
+			e.pushRaw(it)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	for i := len(kept); i < len(old); i++ {
+		old[i] = wakeItem{} // release *Proc / fn references
+	}
+	e.far = kept
 }
 
 // popMin removes and returns the earliest item. The queue must be non-empty.
@@ -171,7 +224,9 @@ func (e *Engine) tryFastYield(at uint64) bool {
 
 // Schedule registers a callback to run at virtual time at. Callbacks run in
 // engine context: they may signal conditions, schedule further callbacks and
-// wake procs, but must not block.
+// wake procs, but must not block. With baton dispatch "engine context"
+// means "on whichever goroutine holds the baton"; callbacks cannot tell
+// the difference.
 func (e *Engine) Schedule(at uint64, fn func(now uint64)) {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
@@ -196,8 +251,8 @@ func (t *Timer) Fired() bool { return t.fired }
 
 // Cancel prevents the callback from running if it has not fired yet. The
 // queue entry is deleted lazily: a cancelled timer is discarded when it
-// reaches the head of the wake queue, without dispatching or advancing any
-// engine bookkeeping.
+// reaches the head of the wake queue (or when the far list is merged),
+// without dispatching or advancing any engine bookkeeping.
 func (t *Timer) Cancel() { t.cancelled = true }
 
 // ScheduleTimer is Schedule with cancellation support.
@@ -226,7 +281,7 @@ func (e *Engine) Spawn(name string, core int, start uint64, fn func(p *Proc)) *P
 		core:   core,
 		clock:  start,
 		resume: make(chan struct{}),
-		tagged: make(map[string]uint64),
+		tagIdx: make(map[string]int),
 		obs:    e.obs,
 	}
 	e.procs = append(e.procs, p)
@@ -237,6 +292,7 @@ func (e *Engine) Spawn(name string, core int, start uint64, fn func(p *Proc)) *P
 				// Real bug in simulated code: hand it to the Run
 				// caller's goroutine so tests can catch it.
 				p.panicVal = r
+				e.panicked = p
 			}
 			p.done = true
 			e.parked <- struct{}{}
@@ -249,8 +305,54 @@ func (e *Engine) Spawn(name string, core int, start uint64, fn func(p *Proc)) *P
 	return p
 }
 
+// dispatch runs the scheduler loop on the yielding proc's own goroutine —
+// the baton. It returns when cur's own wake item is next (cur simply keeps
+// running: the cross-proc generalization of the same-proc fast yield);
+// otherwise it hands the baton to the successor proc (one channel send) or
+// back to the Run goroutine (window exhausted / queue drained) and blocks
+// until a later baton holder pops cur's item and resumes it.
+func (e *Engine) dispatch(cur *Proc) {
+	for {
+		e.pruneTop()
+		if len(e.pq) == 0 || e.pq[0].at > e.limit {
+			e.parked <- struct{}{}
+			<-cur.resume
+			return
+		}
+		it := e.popMin()
+		if it.at > e.now {
+			e.now = it.at
+		}
+		if it.fn != nil {
+			e.dispatches++
+			if it.t != nil {
+				it.t.fired = true
+			}
+			it.fn(e.now)
+			continue
+		}
+		p := it.p
+		if p.done {
+			continue
+		}
+		e.dispatches++
+		p.wakeAt = it.at
+		if p == cur {
+			return
+		}
+		p.resume <- struct{}{}
+		<-cur.resume
+		return
+	}
+}
+
 // Run executes the simulation until virtual time `until` or until there is
 // no pending work. It returns the final virtual time.
+//
+// The Run goroutine only performs the first handoff of each baton chain:
+// it pops the earliest item, hands the baton to that proc, and blocks
+// until the baton comes back (window exhausted, queue drained, or a proc
+// exited or panicked). Procs dispatch each other directly in between.
 func (e *Engine) Run(until uint64) uint64 {
 	if e.running {
 		panic("sim: re-entrant Run")
@@ -258,6 +360,55 @@ func (e *Engine) Run(until uint64) uint64 {
 	e.running = true
 	e.limit = until
 	defer func() { e.running = false }()
+	e.mergeFar()
+	if e.noFastYield {
+		return e.runReference(until)
+	}
+	for {
+		e.pruneTop()
+		if len(e.pq) == 0 {
+			break
+		}
+		if e.pq[0].at > until {
+			e.now = until
+			return e.now
+		}
+		it := e.popMin()
+		if it.at > e.now {
+			e.now = it.at
+		}
+		if it.fn != nil {
+			e.dispatches++
+			if it.t != nil {
+				it.t.fired = true
+			}
+			it.fn(e.now)
+			continue
+		}
+		p := it.p
+		if p.done {
+			continue
+		}
+		e.dispatches++
+		p.wakeAt = it.at
+		p.resume <- struct{}{}
+		<-e.parked
+		if pp := e.panicked; pp != nil {
+			e.panicked = nil
+			panic(pp.panicVal)
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// runReference is the pre-baton central scheduler: every proc switch goes
+// proc -> Run goroutine -> proc, two channel handoffs per dispatch. It is
+// retained, selected by noFastYield, as the semantic reference the
+// equivalence tests compare the baton/fast-yield paths against.
+func (e *Engine) runReference(until uint64) uint64 {
 	for len(e.pq) > 0 {
 		it := e.popMin()
 		if it.t != nil && it.t.cancelled {
@@ -288,8 +439,9 @@ func (e *Engine) Run(until uint64) uint64 {
 		p.wakeAt = it.at
 		p.resume <- struct{}{}
 		<-e.parked
-		if p.panicVal != nil {
-			panic(p.panicVal)
+		if pp := e.panicked; pp != nil {
+			e.panicked = nil
+			panic(pp.panicVal)
 		}
 	}
 	if e.now < until {

@@ -11,7 +11,17 @@ type Proc struct {
 	clock uint64 // local virtual time
 	busy  uint64 // cycles spent doing work (incl. spinning)
 
-	tagged map[string]uint64 // busy cycles per component tag
+	// Per-component busy-cycle accounting. Tags are interned into slots:
+	// tagVals[tagIdx[tag]] holds the cycles for tag, and tagCache is a
+	// tiny direct cache in front of the map so the hot Charge path costs
+	// a short pointer-compare scan instead of a string hash. (Charge is
+	// the single hottest proc-local operation; at 128 simulated cores
+	// the map hashing dominated host CPU.)
+	tagIdx   map[string]int
+	tagNames []string
+	tagVals  []uint64
+	tagCache [8]tagCacheEntry
+	tagHand  uint8 // round-robin victim pointer into tagCache
 
 	resume   chan struct{}
 	done     bool
@@ -28,6 +38,13 @@ type Proc struct {
 	spans []spanFrame
 }
 
+// tagCacheEntry maps one tag string to its slot in tagVals. slot stores
+// index+1 so the zero value can never alias slot 0.
+type tagCacheEntry struct {
+	tag  string
+	slot uint32
+}
+
 // Name returns the proc's name.
 func (p *Proc) Name() string { return p.name }
 
@@ -40,27 +57,77 @@ func (p *Proc) Now() uint64 { return p.clock }
 // Busy returns the total busy cycles accumulated so far.
 func (p *Proc) Busy() uint64 { return p.busy }
 
-// Tagged returns the per-component busy-cycle accounting. The returned map
-// is live; callers must not mutate it.
-func (p *Proc) Tagged() map[string]uint64 { return p.tagged }
+// Tagged returns a snapshot of the per-component busy-cycle accounting.
+// The returned map is freshly built per call; mutating it has no effect on
+// the proc.
+func (p *Proc) Tagged() map[string]uint64 {
+	m := make(map[string]uint64, len(p.tagNames))
+	for i, n := range p.tagNames {
+		m[n] = p.tagVals[i]
+	}
+	return m
+}
 
 // TaggedCycles returns busy cycles attributed to one component tag.
-func (p *Proc) TaggedCycles(tag string) uint64 { return p.tagged[tag] }
+func (p *Proc) TaggedCycles(tag string) uint64 {
+	if i, ok := p.tagIdx[tag]; ok {
+		return p.tagVals[i]
+	}
+	return 0
+}
+
+// tagSlot resolves tag to its slot index in tagVals, interning it on first
+// use. The cache scan hits on pointer equality for the constant tag
+// strings used by all hot paths, avoiding the map's string hash.
+func (p *Proc) tagSlot(tag string) int {
+	for i := range p.tagCache {
+		e := &p.tagCache[i]
+		if e.slot != 0 && e.tag == tag {
+			return int(e.slot - 1)
+		}
+	}
+	return p.tagSlotSlow(tag)
+}
+
+func (p *Proc) tagSlotSlow(tag string) int {
+	idx, ok := p.tagIdx[tag]
+	if !ok {
+		idx = len(p.tagVals)
+		p.tagIdx[tag] = idx
+		p.tagVals = append(p.tagVals, 0)
+		p.tagNames = append(p.tagNames, tag)
+	}
+	e := &p.tagCache[p.tagHand]
+	p.tagHand = (p.tagHand + 1) & 7
+	e.tag, e.slot = tag, uint32(idx+1)
+	return idx
+}
 
 // park hands control back to the engine and blocks until resumed. On resume
 // the proc's clock jumps to the wake time; the jump is counted busy (with
 // wakeTag) if wakeBusy is set (spinlock handoffs), idle otherwise.
+//
+// On the default path the "engine" is the baton dispatch loop run by this
+// very goroutine (Engine.dispatch): the proc dispatches its successor
+// itself and only blocks when another proc truly runs next. noFastYield
+// selects the reference central scheduler instead, which costs the classic
+// two channel handoffs per switch.
 func (p *Proc) park() {
-	p.eng.parked <- struct{}{}
-	<-p.resume
-	if p.eng.stopping {
+	e := p.eng
+	if e.noFastYield {
+		e.parked <- struct{}{}
+		<-p.resume
+	} else {
+		e.dispatch(p)
+	}
+	if e.stopping {
 		panic(errStopped)
 	}
 	if p.wakeAt > p.clock {
 		delta := p.wakeAt - p.clock
 		if p.wakeBusy {
 			p.busy += delta
-			p.tagged[p.wakeTag] += delta
+			p.tagVals[p.tagSlot(p.wakeTag)] += delta
 		}
 		p.clock = p.wakeAt
 	}
@@ -75,8 +142,7 @@ func (p *Proc) park() {
 //
 // Fast path: when every other pending item is strictly later than this
 // proc's clock, the engine would dispatch the proc straight back, so the
-// park/resume channel round-trip (two goroutine handoffs) is skipped
-// entirely and the proc keeps running.
+// heap round-trip is skipped entirely and the proc keeps running.
 func (p *Proc) fence() {
 	if p.eng.tryFastYield(p.clock) {
 		return
@@ -107,8 +173,8 @@ func (p *Proc) wake(at uint64, busy bool, tag string) {
 // work; any shared-resource operation re-synchronizes via fence.
 func (p *Proc) Charge(tag string, c uint64) {
 	p.busy += c
-	p.tagged[tag] += c
 	p.clock += c
+	p.tagVals[p.tagSlot(tag)] += c
 }
 
 // Work is Charge followed by a yield, making the elapsed work visible to
@@ -137,7 +203,7 @@ func (p *Proc) SpinUntil(tag string, t uint64) {
 	}
 	delta := t - p.clock
 	p.busy += delta
-	p.tagged[tag] += delta
+	p.tagVals[p.tagSlot(tag)] += delta
 	p.clock = t
 	p.fence()
 }
