@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-smoke smoke baseline scale-smoke scale-baseline bench-json chaos-smoke chaos-baseline bench profile fuzz fuzz-smoke cover doc-check ci
+.PHONY: build vet test race race-smoke smoke baseline scale-smoke scale-baseline bench-json chaos-smoke chaos-baseline attack-smoke attack-baseline bench profile fuzz fuzz-smoke cover doc-check ci
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,8 @@ race:
 # race on shared state fails fast without the cost of `make race`.
 race-smoke:
 	$(GO) test -race -count=1 \
-		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace|Fig1Extended|ParallelHost' \
-		./internal/bench/ ./internal/chaos/ ./internal/iova/ ./internal/shadow/
+		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace|Fig1Extended|ParallelHost|Campaign' \
+		./internal/bench/ ./internal/chaos/ ./internal/iova/ ./internal/shadow/ ./internal/campaign/
 
 # Fast end-to-end check: regenerate the full evaluation at a 1 ms window,
 # write the machine-readable artifact, and gate it against the committed
@@ -70,6 +70,20 @@ chaos-smoke:
 # the scenarios, policies, or cost model; review the diff first).
 chaos-baseline:
 	$(GO) run ./cmd/chaosbench -seed 1 -q -json ci/chaos-baseline.json
+
+# Attack-campaign smoke: run every payload in the malicious-device
+# library against every protection backend at fixed seed and gate the
+# success-matrix artifact against the committed attack baseline. Any
+# cell flip — a defense newly broken or newly effective — fails the
+# build and must be investigated, not re-baselined away.
+attack-smoke:
+	$(GO) run ./cmd/attackbench -seed 1 -q -json /tmp/ATTACK_smoke.json
+	$(GO) run ./cmd/benchdiff ci/attack-baseline.json /tmp/ATTACK_smoke.json
+
+# Regenerate the committed attack baseline (only after an intentional,
+# reviewed change to a payload or a protection model).
+attack-baseline:
+	$(GO) run ./cmd/attackbench -seed 1 -q -json ci/attack-baseline.json
 
 # Host-side microbenchmarks of the simulation substrate (scheduler fence
 # path, page store, DMA translation). Results are host-dependent — they
@@ -126,4 +140,4 @@ cover:
 doc-check:
 	$(GO) run ./ci/doccheck
 
-ci: vet test race race-smoke smoke scale-smoke chaos-smoke fuzz-smoke cover doc-check
+ci: vet test race race-smoke smoke scale-smoke chaos-smoke attack-smoke fuzz-smoke cover doc-check

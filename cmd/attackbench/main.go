@@ -1,0 +1,113 @@
+// Command attackbench runs the attack-campaign engine: every payload in
+// internal/campaign's library — sub-page harvest, post-unmap replay,
+// blind window discovery, descriptor-ring overrun, fault storm, hot-plug
+// surprise removal, ATS-style spoof, allocator-reuse race, stale-data
+// read, arbitrary scan — against every protection backend, and prints
+// the resulting success matrix (the paper's Table 1 generalized to
+// ~10 x 8).
+//
+// Usage:
+//
+//	attackbench [-seed 1] [-payloads replay-window,fault-storm] [-systems strict,copy]
+//	attackbench -json attacks.json     # machine-readable artifact
+//	attackbench -parallel 4            # cells fan out across a farm
+//
+// Every cell is an independent deterministic simulation, so the JSON
+// artifact is byte-identical at any -parallel setting and is
+// regression-gated in CI with cmd/benchdiff against
+// ci/attack-baseline.json (`make attack-smoke`): any cell flip — a
+// defense newly broken or newly effective — fails the build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/report"
+)
+
+type options struct {
+	seed     int64
+	payloads string
+	systems  string
+	parallel int
+	jsonOut  string
+	quiet    bool
+}
+
+func splitList(s string) []string {
+	if s == "" || s == "all" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func run(opts options, stdout, stderr io.Writer) error {
+	cfg := campaign.MatrixConfig{
+		Seed:     opts.seed,
+		Payloads: splitList(opts.payloads),
+		Systems:  splitList(opts.systems),
+	}
+	if opts.parallel != 1 {
+		farm := bench.NewFarm(opts.parallel)
+		defer farm.Close()
+		cfg.Farm = farm
+	}
+	tb, results, err := campaign.Matrix(cfg)
+	if err != nil {
+		return err
+	}
+	systems := cfg.Systems
+	if len(systems) == 0 {
+		systems = bench.ExtendedSystems
+	}
+	if !opts.quiet {
+		fmt.Fprintln(stdout, tb.String())
+		breaches := make(map[string]int)
+		for i, r := range results {
+			if r.Success {
+				breaches[systems[i%len(systems)]]++
+			}
+		}
+		for _, sys := range systems {
+			fmt.Fprintf(stdout, "%-10s breached by %d/%d payloads\n",
+				sys, breaches[sys], len(results)/len(systems))
+		}
+	}
+	if opts.jsonOut != "" {
+		art := report.New("attackbench", campaign.CellWindowMs, nil)
+		art.Add(tb.Experiment())
+		if err := art.WriteFile(opts.jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "attackbench: wrote %s (%d cells)\n", opts.jsonOut, len(results))
+	}
+	return nil
+}
+
+func main() {
+	var opts options
+	flag.Int64Var(&opts.seed, "seed", 1, "deterministic campaign seed")
+	flag.StringVar(&opts.payloads, "payloads", "all", "comma-separated payload names, or 'all'")
+	flag.StringVar(&opts.systems, "systems", "all", "comma-separated protection backends, or 'all'")
+	flag.IntVar(&opts.parallel, "parallel", 1, "farm workers for cell parallelism (<=0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&opts.jsonOut, "json", "", "write a machine-readable artifact (internal/report schema) to this path")
+	flag.BoolVar(&opts.quiet, "q", false, "suppress the text matrix")
+	flag.Parse()
+
+	if err := run(opts, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "attackbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -3,13 +3,18 @@
 // With -window-sweep it additionally sweeps the replay delay after
 // dma_unmap to chart the deferred-protection vulnerability window (§3:
 // buffers can remain device-writable for up to 10 ms).
+//
+// A failed scenario no longer aborts the whole demo: the remaining
+// systems still run and print, the failure is reported per-system, and
+// the process exits non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/attack"
@@ -17,78 +22,116 @@ import (
 	"repro/internal/trace"
 )
 
-func main() {
-	sweep := flag.Bool("window-sweep", false, "sweep post-unmap replay delays")
-	window := flag.Float64("window", 10, "simulated ms per perf measurement")
-	showTrace := flag.Bool("trace", false, "dump the IOMMU event trace of one attack run")
-	jsonOut := flag.String("json", "", "also write a machine-readable artifact (internal/report schema) to this path")
-	flag.Parse()
+type options struct {
+	sweep     bool
+	window    float64
+	showTrace bool
+	jsonOut   string
+	systems   []string
+}
 
-	if *showTrace {
-		dumpAttackTrace()
+// run executes the demo and returns an error if any scenario failed —
+// after printing every system's (possibly partial) outcome, so one bad
+// cell does not hide the rest of the matrix.
+func run(opts options, stdout io.Writer) error {
+	if opts.showTrace {
+		if err := dumpAttackTrace(stdout); err != nil {
+			return err
+		}
 	}
 
-	fmt.Println("Attacking every protection strategy with a compromised device...")
-	fmt.Println("(includes the related-work designs: swiotlb bounce buffers and the")
-	fmt.Println(" Basu et al. self-invalidating IOMMU with a 20us entry TTL)")
-	fmt.Println()
-	for _, sys := range bench.ExtendedSystems {
+	fmt.Fprintln(stdout, "Attacking every protection strategy with a compromised device...")
+	fmt.Fprintln(stdout, "(includes the related-work designs: swiotlb bounce buffers and the")
+	fmt.Fprintln(stdout, " Basu et al. self-invalidating IOMMU with a 20us entry TTL)")
+	fmt.Fprintln(stdout)
+	var failures []string
+	for _, sys := range opts.systems {
 		out, err := attack.Run(sys)
 		if err != nil {
-			log.Fatalf("%s: %v", sys, err)
+			// Partial failure: surface the error, keep the partial outcome
+			// visible, and keep going — the other systems' results matter.
+			failures = append(failures, fmt.Sprintf("%s: %v", sys, err))
+			fmt.Fprintf(stdout, "%-10s FAILED: %v\n", sys, err)
+			continue
 		}
-		fmt.Printf("%-10s sub-page leak: %-5v  post-unmap write landed: %-5v  arbitrary DMA: %-5v  faults blocked: %d\n",
+		fmt.Fprintf(stdout, "%-10s sub-page leak: %-5v  post-unmap write landed: %-5v  arbitrary DMA: %-5v  faults blocked: %d\n",
 			sys, out.SubPageLeak, out.WindowWrite, out.ArbitraryRead, out.Faults)
 		if out.SubPageLeak {
-			fmt.Printf("           leaked co-located secret: %q\n", out.LeakedBytes)
+			fmt.Fprintf(stdout, "           leaked co-located secret: %q\n", out.LeakedBytes)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
-	rows, table, err := attack.Table1(*window)
+	rows, table, err := attack.Table1(opts.window)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(table)
-	if *jsonOut != "" {
-		a := bench.Artifact("attackdemo", *window, nil, []*bench.Table{table})
+	fmt.Fprintln(stdout, table)
+	if opts.jsonOut != "" {
+		a := bench.Artifact("attackdemo", opts.window, nil, []*bench.Table{table})
 		a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 		a.Attacks = attack.Verdicts(rows)
-		if err := a.WriteFile(*jsonOut); err != nil {
-			log.Fatal(err)
+		if err := a.WriteFile(opts.jsonOut); err != nil {
+			return err
 		}
 	}
 
-	if *sweep {
+	if opts.sweep {
 		delays := []float64{1, 10, 100, 1000, 5000, 9000, 11000, 20000}
 		for _, sys := range []string{bench.SysLinuxDefer, bench.SysIdentityDefer, bench.SysSelfInval, bench.SysLinuxStrict, bench.SysCopy} {
 			samples, err := attack.WindowSweep(sys, delays)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("replay-after-unmap sweep, %s:\n", sys)
+			fmt.Fprintf(stdout, "replay-after-unmap sweep, %s:\n", sys)
 			for _, s := range samples {
 				verdict := "blocked"
 				if s.Landed {
 					verdict = "WRITE LANDED"
 				}
-				fmt.Printf("  +%8.0f us: %s\n", s.DelayUs, verdict)
+				fmt.Fprintf(stdout, "  +%8.0f us: %s\n", s.DelayUs, verdict)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d systems failed:\n  %s",
+			len(failures), len(opts.systems), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	var opts options
+	flag.BoolVar(&opts.sweep, "window-sweep", false, "sweep post-unmap replay delays")
+	flag.Float64Var(&opts.window, "window", 10, "simulated ms per perf measurement")
+	flag.BoolVar(&opts.showTrace, "trace", false, "dump the IOMMU event trace of one attack run")
+	flag.StringVar(&opts.jsonOut, "json", "", "also write a machine-readable artifact (internal/report schema) to this path")
+	systems := flag.String("systems", "", "comma-separated systems to attack (default: all)")
+	flag.Parse()
+
+	opts.systems = bench.ExtendedSystems
+	if *systems != "" {
+		opts.systems = strings.Split(*systems, ",")
+	}
+	if err := run(opts, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "attackdemo: %v\n", err)
+		os.Exit(1)
 	}
 }
 
 // dumpAttackTrace replays the deferred-window attack against Linux
 // deferred protection with IOMMU tracing on, showing the map, the unmap,
 // the attacker's writes slipping through, and the batched invalidation.
-func dumpAttackTrace() {
-	fmt.Println("IOMMU event trace of the deferred-window attack (system: defer):")
+func dumpAttackTrace(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "IOMMU event trace of the deferred-window attack (system: defer):")
 	tr := trace.New(64)
 	out, err := attack.RunTraced(bench.SysLinuxDefer, tr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	tr.Dump(os.Stdout)
-	fmt.Printf("(attack outcome: post-unmap write landed = %v)\n\n", out.WindowWrite)
+	tr.Dump(stdout)
+	fmt.Fprintf(stdout, "(attack outcome: post-unmap write landed = %v)\n\n", out.WindowWrite)
+	return nil
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestPartialFailureSurfacesErrorAndKeepsGoing is the regression test for
+// the bug where the first failing system aborted the whole demo: the
+// error of one system must not hide the others' results, and must still
+// make run() fail (so main exits non-zero).
+func TestPartialFailureSurfacesErrorAndKeepsGoing(t *testing.T) {
+	var out bytes.Buffer
+	err := run(options{
+		window:  3,
+		systems: []string{bench.SysLinuxDefer, "no-such-system", bench.SysCopy},
+	}, &out)
+	if err == nil {
+		t.Fatal("run succeeded despite a failing system")
+	}
+	if !strings.Contains(err.Error(), "no-such-system") {
+		t.Errorf("error does not name the failing system: %v", err)
+	}
+	got := out.String()
+	// The systems after the failure still ran and printed their outcomes.
+	for _, want := range []string{bench.SysLinuxDefer, bench.SysCopy, "sub-page leak"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("partial results missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "FAILED") {
+		t.Errorf("failing system's error not surfaced inline:\n%s", got)
+	}
+}
+
+func TestRunAllSystemsSucceeds(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(options{window: 3, systems: bench.ExtendedSystems}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, sys := range bench.ExtendedSystems {
+		if !strings.Contains(out.String(), sys) {
+			t.Errorf("output missing system %q", sys)
+		}
+	}
+	if !strings.Contains(out.String(), "leaked co-located secret") {
+		t.Error("no leaked-secret line for any vulnerable system")
+	}
+}

@@ -4,25 +4,22 @@
 // IOMMU, and an attack succeeds or fails according to the page-table and
 // IOTLB state the strategy produced (see DESIGN.md §6).
 //
-// Three scenarios cover the two weaknesses of §4 plus a baseline probe:
+// The three scenarios cover the two weaknesses of §4 plus a baseline
+// probe, and run on internal/campaign's payload engine (which generalizes
+// them into the full ~10-payload success matrix of cmd/attackbench):
 //
-//   - SubPageTheft: read kernel data co-located on the page of a mapped
-//     DMA buffer (the "no sub-page protection" weakness).
-//   - DeferredWindowWrite: replay a just-unmapped IOVA and corrupt reused
-//     OS memory (the "deferred protection" weakness; §3 notes a write
-//     within 10us of dma_unmap crashed Linux).
-//   - ArbitraryScan: DMA to an address the OS never authorized at all.
+//   - SubPageTheft ("subpage-harvest"): read kernel data co-located on the
+//     page of a mapped DMA buffer (the "no sub-page protection" weakness).
+//   - DeferredWindowWrite ("replay-window"): replay a just-unmapped IOVA
+//     and corrupt reused OS memory (the "deferred protection" weakness;
+//     §3 notes a write within 10us of dma_unmap crashed Linux).
+//   - ArbitraryScan ("arbitrary-scan"): DMA to an address the OS never
+//     authorized at all.
 package attack
 
 import (
-	"bytes"
-	"fmt"
-
-	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/cycles"
-	"repro/internal/dmaapi"
-	"repro/internal/iommu"
-	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -50,153 +47,60 @@ type Outcome struct {
 	Err    error
 }
 
-// newMachine assembles a quiet machine (no traffic) for attack scenarios.
-func newMachine(system string) (*bench.Machine, error) {
-	cfg := bench.DefaultConfig(system, bench.RX, 1, 1500)
-	return bench.NewMachine(cfg)
-}
-
 // Run executes all three scenarios against one protection strategy.
 func Run(system string) (Outcome, error) {
 	return RunTraced(system, nil)
 }
 
 // RunTraced is Run with an optional IOMMU event tracer attached, so the
-// attack's map/unmap/fault/invalidation sequence can be inspected.
+// attack's map/unmap/fault/invalidation sequence can be inspected. The
+// scenarios are campaign payloads executed back-to-back on one target
+// machine, in proc context.
 func RunTraced(system string, tr *trace.Tracer) (Outcome, error) {
 	out := Outcome{System: system}
-	mach, err := newMachine(system)
+	t, err := campaign.NewTarget(system, 1)
 	if err != nil {
 		return out, err
 	}
-	mach.IOMMU.Trace = tr
+	t.Mach.IOMMU.Trace = tr
+	var results [3]campaign.Result
 	var scenarioErr error
-	mach.Eng.Spawn("victim", 0, 0, func(p *sim.Proc) {
-		scenarioErr = runScenarios(p, mach, &out)
+	t.Mach.Eng.Spawn("victim", 0, 0, func(p *sim.Proc) {
+		payloads := []campaign.Payload{
+			mustFind("subpage-harvest"),
+			campaign.NewReplayWindow(2, true),
+			mustFind("arbitrary-scan"),
+		}
+		for i, pl := range payloads {
+			if scenarioErr = campaign.Execute(p, t, pl, &results[i]); scenarioErr != nil {
+				return
+			}
+		}
 	})
-	mach.Eng.Run(cycles.FromMillis(50))
-	out.Faults = mach.IOMMU.FaultCount
-	mach.Eng.Stop()
+	t.Mach.Eng.Run(cycles.FromMillis(50))
+	out.Faults = t.Mach.IOMMU.FaultCount
+	t.Mach.Eng.Stop()
+
+	out.SubPageLeak = results[0].Success
+	out.LeakedBytes = results[0].Leaked
+	out.WindowWrite = results[1].Success
+	out.WindowClosedAfterFlush = results[1].Metrics["closed_after_flush"] == 1
+	out.ArbitraryRead = results[2].Success
 	if scenarioErr != nil {
 		out.Err = scenarioErr
 	}
 	return out, out.Err
 }
 
-func runScenarios(p *sim.Proc, mach *bench.Machine, out *Outcome) error {
-	if err := subPageTheft(p, mach, out); err != nil {
-		return fmt.Errorf("sub-page theft: %w", err)
+// mustFind resolves a library payload; the names are compile-time
+// constants of this package, so a miss is a programming error.
+func mustFind(name string) campaign.Payload {
+	pl, err := campaign.Find(name)
+	if err != nil {
+		panic(err)
 	}
-	if err := deferredWindowWrite(p, mach, out); err != nil {
-		return fmt.Errorf("window write: %w", err)
-	}
-	if err := arbitraryScan(p, mach, out); err != nil {
-		return fmt.Errorf("arbitrary scan: %w", err)
-	}
-	return nil
+	return pl
 }
 
 // secret is the co-located kernel data the device tries to steal.
-var secret = []byte("TLS-PRIVATE-KEY:0xDEADBEEFCAFEBABE")
-
-// subPageTheft maps a small kmalloc'ed buffer for device reads and then
-// probes the rest of its page, where the slab allocator placed a secret.
-func subPageTheft(p *sim.Proc, mach *bench.Machine, out *Outcome) error {
-	m := mach.Mapper
-	// Two consecutive slab allocations share a page (mem.Kmalloc is a
-	// real slab): buffer first, secret second.
-	dmaBuf, err := mach.Kmal.Alloc(0, 256)
-	if err != nil {
-		return err
-	}
-	secBuf, err := mach.Kmal.Alloc(0, 256)
-	if err != nil {
-		return err
-	}
-	if !mem.SamePage(dmaBuf, secBuf) {
-		return fmt.Errorf("setup: buffers not co-located")
-	}
-	if err := mach.Mem.Write(secBuf.Addr, secret); err != nil {
-		return err
-	}
-	addr, err := m.Map(p, dmaBuf, dmaapi.ToDevice)
-	if err != nil {
-		return err
-	}
-	// The device knows only `addr`. It computes where the secret would
-	// sit if the whole page were mapped: same page, secret's offset.
-	target := addr - iommu.IOVA(addr.Offset()) + iommu.IOVA(secBuf.Addr.Offset())
-	got := make([]byte, len(secret))
-	res := mach.IOMMU.DMARead(mach.Env.Dev, target, got)
-	if res.Fault == nil && bytes.Equal(got, secret) {
-		out.SubPageLeak = true
-		out.LeakedBytes = got
-	}
-	if err := m.Unmap(p, addr, dmaBuf.Size, dmaapi.ToDevice); err != nil {
-		return err
-	}
-	m.Quiesce(p)
-	return nil
-}
-
-// deferredWindowWrite performs the §3 attack: use a mapping, let the OS
-// unmap and reuse the buffer, then replay a write to the stale IOVA.
-func deferredWindowWrite(p *sim.Proc, mach *bench.Machine, out *Outcome) error {
-	m := mach.Mapper
-	buf, err := mach.Kmal.Alloc(0, 1500)
-	if err != nil {
-		return err
-	}
-	addr, err := m.Map(p, buf, dmaapi.FromDevice)
-	if err != nil {
-		return err
-	}
-	// Legitimate use: the device delivers a packet (and thereby caches
-	// the translation in the IOTLB).
-	if res := mach.IOMMU.DMAWrite(mach.Env.Dev, addr, []byte("legitimate packet")); res.Fault != nil {
-		return fmt.Errorf("benign DMA failed: %v", res.Fault)
-	}
-	if err := m.Unmap(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
-		return err
-	}
-	// The OS reuses the memory for sensitive data.
-	reused := []byte("fs-metadata:inode-table-root")
-	if err := mach.Mem.Write(buf.Addr, reused); err != nil {
-		return err
-	}
-	// Replay within microseconds of the unmap (well inside the paper's
-	// observed 10us crash window and the 10ms flush deadline).
-	p.Sleep(cycles.FromMicros(2))
-	mach.IOMMU.DMAWrite(mach.Env.Dev, addr, []byte("EVIL-OVERWRITE-OF-INODES"))
-	now, _ := mach.Mem.Snapshot(buf)
-	out.WindowWrite = !bytes.Equal(now[:len(reused)], reused)
-
-	// Restore, flush deferred state, and replay again: the window must
-	// close for every strategy (for copy there is nothing to flush; the
-	// write lands in a quarantined shadow buffer either way).
-	if err := mach.Mem.Write(buf.Addr, reused); err != nil {
-		return err
-	}
-	m.Quiesce(p)
-	p.Sleep(cycles.FromMicros(10)) // let invalidation hardware drain
-	mach.IOMMU.DMAWrite(mach.Env.Dev, addr, []byte("EVIL-OVERWRITE-OF-INODES"))
-	now, _ = mach.Mem.Snapshot(buf)
-	out.WindowClosedAfterFlush = bytes.Equal(now[:len(reused)], reused)
-	return nil
-}
-
-// arbitraryScan probes memory the OS never authorized at all: the physical
-// address of a fresh kernel allocation, used directly as an IOVA.
-func arbitraryScan(p *sim.Proc, mach *bench.Machine, out *Outcome) error {
-	kernel, err := mach.Kmal.Alloc(0, 4096)
-	if err != nil {
-		return err
-	}
-	if err := mach.Mem.Write(kernel.Addr, []byte("unmapped kernel memory")); err != nil {
-		return err
-	}
-	got := make([]byte, 22)
-	res := mach.IOMMU.DMARead(mach.Env.Dev, iommu.IOVA(kernel.Addr), got)
-	out.ArbitraryRead = res.Fault == nil && bytes.Equal(got, []byte("unmapped kernel memory"))
-	return nil
-}
+var secret = campaign.Secret

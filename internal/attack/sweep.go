@@ -1,10 +1,8 @@
 package attack
 
 import (
-	"bytes"
-
+	"repro/internal/campaign"
 	"repro/internal/cycles"
-	"repro/internal/dmaapi"
 	"repro/internal/sim"
 )
 
@@ -33,45 +31,20 @@ func WindowSweep(system string, delaysUs []float64) ([]WindowSample, error) {
 	return out, nil
 }
 
+// windowProbe runs the replay-window payload once at the given delay on a
+// fresh machine (no flush check: the sweep charts the raw window).
 func windowProbe(system string, delayUs float64) (bool, error) {
-	mach, err := newMachine(system)
+	t, err := campaign.NewTarget(system, 1)
 	if err != nil {
 		return false, err
 	}
-	landed := false
+	w := campaign.NewReplayWindow(delayUs, false)
+	var r campaign.Result
 	var probeErr error
-	mach.Eng.Spawn("victim", 0, 0, func(p *sim.Proc) {
-		m := mach.Mapper
-		buf, err := mach.Kmal.Alloc(0, 1500)
-		if err != nil {
-			probeErr = err
-			return
-		}
-		addr, err := m.Map(p, buf, dmaapi.FromDevice)
-		if err != nil {
-			probeErr = err
-			return
-		}
-		mach.IOMMU.DMAWrite(mach.Env.Dev, addr, []byte("benign"))
-		if err := m.Unmap(p, addr, buf.Size, dmaapi.FromDevice); err != nil {
-			probeErr = err
-			return
-		}
-		clean := []byte("reused-kernel-data")
-		if err := mach.Mem.Write(buf.Addr, clean); err != nil {
-			probeErr = err
-			return
-		}
-		p.Sleep(cycles.FromMicros(delayUs))
-		mach.IOMMU.DMAWrite(mach.Env.Dev, addr, []byte("EVIL-REPLAYED-WRITE"))
-		now, err := mach.Mem.Snapshot(buf)
-		if err != nil {
-			probeErr = err
-			return
-		}
-		landed = !bytes.Equal(now[:len(clean)], clean)
+	t.Mach.Eng.Spawn("victim", 0, 0, func(p *sim.Proc) {
+		probeErr = campaign.Execute(p, t, w, &r)
 	})
-	mach.Eng.Run(cycles.FromMillis(delayUs/1000 + 30))
-	mach.Eng.Stop()
-	return landed, probeErr
+	t.Mach.Eng.Run(cycles.FromMillis(delayUs/1000 + 30))
+	t.Mach.Eng.Stop()
+	return w.Landed(), probeErr
 }

@@ -48,6 +48,16 @@ const (
 // ExtendedSystems is AllSystems plus the related-work designs.
 var ExtendedSystems = append(append([]string{}, AllSystems...), SysSWIOTLB, SysSelfInval)
 
+// IsSystem reports whether name is a known protection backend.
+func IsSystem(name string) bool {
+	for _, s := range ExtendedSystems {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Direction selects the workload.
 type Direction int
 

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// discovery is the DICE-flavored attacker: it is handed NO addresses.
+// It infers live DMA windows by scanning the two address regions a
+// malicious device can cheaply guess — low physical memory (where
+// identity-mapped and translation-free designs put DMA buffers) and the
+// top of the Linux IOVA space (the tree allocator hands out highest
+// pages first) — and classifies each landed probe by translation
+// latency (an IOTLB hit costs no walk, so stale-TLB windows answer
+// "fast"). A second sweep after 30us separates windows that stay open
+// until a software flush (defer) from ones that self-close (selfinval's
+// TTL).
+type discovery struct {
+	probes     int
+	landed     []probeHit
+	fastLanded int
+	openAfter  int
+	corrupted  []int
+}
+
+// probeHit is one probe write that the IOMMU let through.
+type probeHit struct {
+	addr    iommu.IOVA
+	latency uint64
+}
+
+// DiscoveryScanPages is how many pages each scan region covers. The low
+// region starts at the first allocatable physical page; the high region
+// ends at the top of a 48-bit/4-level Linux IOVA space. 192 pages
+// comfortably covers every buffer a single-queue victim touches.
+const DiscoveryScanPages = 192
+
+// linuxIOVATopPage mirrors the Linux-style allocators' address-space
+// ceiling (48-bit space, 4 KiB pages, top bit reserved — see
+// dmaapi.NewLinux). Discovery hardcodes it the way a real attacker
+// hardcodes knowledge of the victim kernel's allocator layout.
+const linuxIOVATopPage = uint64(1) << (48 - mem.PageShift - 1)
+
+func (d *discovery) Name() string  { return "window-discovery" }
+func (d *discovery) Title() string { return "infer live DMA windows by probing, untold" }
+
+func (d *discovery) Identify(p *sim.Proc, t *Target) error {
+	// The victim just processes traffic. Unlike every other payload, the
+	// attacker does NOT read t.Observed — it must find windows itself.
+	return t.RunTraffic(p, 16)
+}
+
+func (d *discovery) Deliver(p *sim.Proc, t *Target) error {
+	pattern := bytes.Repeat([]byte{0xD1}, mem.PageSize)
+	probe := func(pg uint64) {
+		d.probes++
+		addr := iommu.IOVA(pg << mem.PageShift)
+		res := t.Mach.IOMMU.DMAWrite(t.Dev(), addr, pattern)
+		if res.Fault != nil {
+			return
+		}
+		d.landed = append(d.landed, probeHit{addr: addr, latency: res.Latency})
+		if res.Latency <= t.Mach.Env.Costs.DMALatency {
+			// No page-walk component: a passthrough or stale-IOTLB window.
+			d.fastLanded++
+		}
+	}
+	// Region A: low physical pages (page 0 is reserved as nil).
+	for pg := uint64(1); pg <= DiscoveryScanPages; pg++ {
+		probe(pg)
+	}
+	// Region B: the top of the Linux-style IOVA space.
+	for pg := linuxIOVATopPage - DiscoveryScanPages + 1; pg <= linuxIOVATopPage; pg++ {
+		probe(pg)
+	}
+	// Re-probe every found window after 30us: still open, or self-closed?
+	sleepUs(p, 30)
+	for _, h := range d.landed {
+		if res := t.Mach.IOMMU.DMAWrite(t.Dev(), h.addr, pattern); res.Fault == nil {
+			d.openAfter++
+		}
+	}
+	return nil
+}
+
+func (d *discovery) Verify(p *sim.Proc, t *Target, r *Result) error {
+	var err error
+	if d.corrupted, err = t.CorruptedStale(); err != nil {
+		return err
+	}
+	r.Success = len(d.corrupted) > 0
+	r.Metrics["probes"] = float64(d.probes)
+	r.Metrics["probes_landed"] = float64(len(d.landed))
+	r.Metrics["fast_landed"] = float64(d.fastLanded)
+	r.Metrics["windows_corrupting"] = float64(len(d.corrupted))
+	r.Metrics["open_after_30us"] = float64(d.openAfter)
+	if r.Success {
+		r.Detail = fmt.Sprintf("blind scan corrupted %d victim buffers (%d/%d probes landed)",
+			len(d.corrupted), len(d.landed), d.probes)
+	} else {
+		r.Detail = "blind scan found no window into OS memory"
+	}
+	return nil
+}
+
+func (d *discovery) Cleanup(p *sim.Proc, t *Target) error { return nil }
+
+// CorruptedRecords exposes which victim records the blind scan reached
+// (for the discovery-vs-told coverage test).
+func (d *discovery) CorruptedRecords() []int { return d.corrupted }

@@ -1,0 +1,118 @@
+package campaign_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/cycles"
+	"repro/internal/sim"
+)
+
+// toldAttacker is the oracle the blind scanner is measured against: the
+// same victim traffic, but the attacker replays every address it was
+// legitimately told (the posted RX descriptors). Returns the indices of
+// victim records the replays corrupted.
+func toldAttacker(t *testing.T, system string) []int {
+	t.Helper()
+	tgt, err := campaign.NewTarget(system, 1)
+	if err != nil {
+		t.Fatalf("NewTarget(%s): %v", system, err)
+	}
+	var corrupted []int
+	var runErr error
+	tgt.Mach.Eng.Spawn("told", 0, 0, func(p *sim.Proc) {
+		if runErr = tgt.RunTraffic(p, 16); runErr != nil {
+			return
+		}
+		evil := []byte("TOLD-ATTACKER-REPLAY")
+		for i := range tgt.Observed {
+			tgt.ReplayObserved(p, i, evil)
+		}
+		corrupted, runErr = tgt.CorruptedStale()
+	})
+	tgt.Mach.Eng.Run(cycles.FromMillis(campaign.CellWindowMs))
+	tgt.Mach.Eng.Stop()
+	if runErr != nil {
+		t.Fatalf("told attacker on %s: %v", system, runErr)
+	}
+	return corrupted
+}
+
+// blindAttacker runs the window-discovery payload (which never reads the
+// descriptor notebook) and returns the victim records its probing
+// corrupted.
+func blindAttacker(t *testing.T, system string) []int {
+	t.Helper()
+	tgt, err := campaign.NewTarget(system, 1)
+	if err != nil {
+		t.Fatalf("NewTarget(%s): %v", system, err)
+	}
+	pl, err := campaign.Find("window-discovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r campaign.Result
+	var runErr error
+	tgt.Mach.Eng.Spawn("blind", 0, 0, func(p *sim.Proc) {
+		runErr = campaign.Execute(p, tgt, pl, &r)
+	})
+	tgt.Mach.Eng.Run(cycles.FromMillis(campaign.CellWindowMs))
+	tgt.Mach.Eng.Stop()
+	if runErr != nil {
+		t.Fatalf("blind attacker on %s: %v", system, runErr)
+	}
+	rec, ok := pl.(interface{ CorruptedRecords() []int })
+	if !ok {
+		t.Fatal("window-discovery payload does not expose CorruptedRecords")
+	}
+	return rec.CorruptedRecords()
+}
+
+// TestDiscoveryMatchesToldAttackerOnDeferredBackends is the discovery
+// coverage guarantee: on backends with replay windows, the probe-timing
+// attacker — handed no addresses at all — reaches every victim record a
+// told-the-address attacker reaches. The eligibility clause keeps the
+// pass non-vacuous: the told attacker must itself corrupt at least one
+// record on these backends, or the comparison proves nothing.
+func TestDiscoveryMatchesToldAttackerOnDeferredBackends(t *testing.T) {
+	for _, sys := range []string{bench.SysLinuxDefer, bench.SysIdentityDefer, bench.SysNoIOMMU} {
+		told := toldAttacker(t, sys)
+		if len(told) == 0 {
+			t.Errorf("%s: told-the-address attacker corrupted nothing — vacuous comparison, victim setup broke", sys)
+			continue
+		}
+		blind := blindAttacker(t, sys)
+		found := make(map[int]bool, len(blind))
+		for _, i := range blind {
+			found[i] = true
+		}
+		var missed []int
+		for _, i := range told {
+			if !found[i] {
+				missed = append(missed, i)
+			}
+		}
+		if len(missed) > 0 {
+			sort.Ints(missed)
+			t.Errorf("%s: blind discovery missed records %v (told attacker: %v, blind: %v)",
+				sys, missed, told, blind)
+		}
+	}
+}
+
+// TestDiscoveryFindsNothingOnSealedBackends: against strict invalidation
+// and the copy design the blind scan must corrupt zero records — and for
+// the test to mean anything, those backends must also stop the told
+// attacker.
+func TestDiscoveryFindsNothingOnSealedBackends(t *testing.T) {
+	for _, sys := range []string{bench.SysLinuxStrict, bench.SysCopy} {
+		if got := blindAttacker(t, sys); len(got) != 0 {
+			t.Errorf("%s: blind discovery corrupted records %v, want none", sys, got)
+		}
+		if got := toldAttacker(t, sys); len(got) != 0 {
+			t.Errorf("%s: even the told attacker corrupted %v — backend regressed", sys, got)
+		}
+	}
+}

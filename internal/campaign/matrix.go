@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+// MatrixConfig parameterizes a campaign sweep.
+type MatrixConfig struct {
+	Seed int64
+	// Payloads defaults to Payloads() (every registered payload).
+	Payloads []string
+	// Systems defaults to bench.ExtendedSystems (all 8 backends).
+	Systems []string
+	// Farm fans the cells across workers; nil runs serially. Cells are
+	// independent machines seeded by bench.PointSeed, so the artifact is
+	// byte-identical at any -parallel setting.
+	Farm *bench.Farm
+}
+
+// Matrix runs every payload against every backend (one fresh machine
+// per cell) and renders the success matrix as a table: the generalized
+// Table 1. Results come back in canonical payload-major, system-minor
+// order regardless of farm scheduling.
+func Matrix(cfg MatrixConfig) (*bench.Table, []Result, error) {
+	pls := cfg.Payloads
+	if len(pls) == 0 {
+		pls = Payloads()
+	}
+	systems := cfg.Systems
+	if len(systems) == 0 {
+		systems = bench.ExtendedSystems
+	}
+	for _, name := range pls {
+		if _, err := Find(name); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, s := range systems {
+		if !bench.IsSystem(s) {
+			return nil, nil, fmt.Errorf("campaign: unknown system %q", s)
+		}
+	}
+
+	n := len(pls) * len(systems)
+	results := make([]Result, n)
+	err := cfg.Farm.Map(n, func(i int) error {
+		res, err := Run(systems[i%len(systems)], pls[i/len(systems)], bench.PointSeed(cfg.Seed, i))
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, results, err
+	}
+
+	tb := &bench.Table{
+		Name: "campaign",
+		Title: fmt.Sprintf("Attack-campaign success matrix (%d payloads x %d backends, seed %d)",
+			len(pls), len(systems), cfg.Seed),
+		Note:    "BREACH = the attack reached real OS memory or leaked data; ok = the protection held.",
+		Columns: append([]string{"payload"}, systems...),
+	}
+	for pi, name := range pls {
+		cells := []string{name}
+		for si := range systems {
+			if results[pi*len(systems)+si].Success {
+				cells = append(cells, "BREACH")
+			} else {
+				cells = append(cells, "ok")
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	for si, s := range systems {
+		for pi, name := range pls {
+			tb.Point(s, name, results[pi*len(systems)+si].Metrics)
+		}
+	}
+	return tb, results, nil
+}

@@ -125,6 +125,20 @@ func (u *IOMMU) Unblock(dev DeviceID) {
 // Blocked reports whether the device is quarantined.
 func (u *IOMMU) Blocked(dev DeviceID) bool { return u.blocked[dev] }
 
+// DetachDevice models the OS side of a surprise hot-unplug: the device's
+// passthrough bypass (if any) is revoked, its domain's page tables are
+// torn down, and its cached translations are dropped. A DMA the removed
+// (or ghost) device still issues afterwards faults — there is no bypass
+// and no translation state left. Returns the number of pages wiped;
+// mapping owners' later unmaps of wiped pages are tolerated via the
+// domain's wipe debt, as for WipeDomain.
+func (u *IOMMU) DetachDevice(dev DeviceID) uint64 {
+	delete(u.passthrough, dev)
+	n := u.WipeDomain(dev)
+	u.Trace.Emit(u.eng.Now(), trace.CatUnmap, "dev %d detached (hot-unplug)", dev)
+	return n
+}
+
 // BlockedDevices returns the number of currently quarantined devices.
 func (u *IOMMU) BlockedDevices() int { return len(u.blocked) }
 

@@ -41,6 +41,12 @@ type NIC struct {
 	// TxDeliveredHook fires when a transmitted frame's last bit reaches
 	// the remote machine (for request/response latency measurement).
 	TxDeliveredHook func(q int, at uint64, payloadBytes int)
+	// RxPostHook observes every RX descriptor the driver posts (queue,
+	// IOVA, buffer length). Descriptors are device-visible by design, so
+	// this is the legitimate channel through which a compromised device
+	// learns DMA addresses; internal/campaign's attacker notebook rides
+	// on it.
+	RxPostHook func(q int, addr iommu.IOVA, n int)
 
 	// Stats
 	RxFrames, TxFrames uint64
@@ -149,6 +155,9 @@ func (q *Queue) SetCreditHook(fn func(now uint64)) { q.onCredit = fn }
 func (q *Queue) PostRx(p *sim.Proc, d Desc) bool {
 	if !q.RxRing.Post(d) {
 		return false
+	}
+	if q.nic.RxPostHook != nil {
+		q.nic.RxPostHook(q.idx, d.Addr, d.Len)
 	}
 	if q.onCredit != nil {
 		q.onCredit(p.Now())
