@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-smoke smoke baseline scale-smoke scale-baseline bench-json chaos-smoke chaos-baseline attack-smoke attack-baseline bench profile fuzz fuzz-smoke cover doc-check ci
+.PHONY: build vet test race race-smoke smoke baseline scale-smoke scale-baseline bench-json chaos-smoke chaos-baseline attack-smoke attack-baseline tenant-smoke tenant-baseline bench profile fuzz fuzz-smoke cover doc-check ci
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,8 @@ race:
 # race on shared state fails fast without the cost of `make race`.
 race-smoke:
 	$(GO) test -race -count=1 \
-		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace|Fig1Extended|ParallelHost|Campaign' \
-		./internal/bench/ ./internal/chaos/ ./internal/iova/ ./internal/shadow/ ./internal/campaign/
+		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace|Fig1Extended|ParallelHost|Campaign|Tenant' \
+		./internal/bench/ ./internal/chaos/ ./internal/iova/ ./internal/shadow/ ./internal/campaign/ ./internal/tenant/
 
 # Fast end-to-end check: regenerate the full evaluation at a 1 ms window,
 # write the machine-readable artifact, and gate it against the committed
@@ -85,6 +85,20 @@ attack-smoke:
 attack-baseline:
 	$(GO) run ./cmd/attackbench -seed 1 -q -json ci/attack-baseline.json
 
+# Multi-tenant datapath smoke: run the hostile-tenant isolation matrix
+# (3 attacks x 3 schemes) and the isolation-vs-throughput sweep (up to
+# 1024 tenant queues) at fixed seed and gate the artifact against the
+# committed tenant baseline. An isolation-cell flip — a scheme newly
+# breached or newly containing — or goodput drift fails the build.
+tenant-smoke:
+	$(GO) run ./cmd/tenantbench -seed 1 -q -json /tmp/TENANT_smoke.json
+	$(GO) run ./cmd/benchdiff ci/tenant-baseline.json /tmp/TENANT_smoke.json
+
+# Regenerate the committed tenant baseline (only after an intentional,
+# reviewed change to a scheme, a hostile program, or the cost model).
+tenant-baseline:
+	$(GO) run ./cmd/tenantbench -seed 1 -q -json ci/tenant-baseline.json
+
 # Host-side microbenchmarks of the simulation substrate (scheduler fence
 # path, page store, DMA translation). Results are host-dependent — they
 # are written to bench-host.txt for eyeballing, not gated.
@@ -140,4 +154,4 @@ cover:
 doc-check:
 	$(GO) run ./ci/doccheck
 
-ci: vet test race race-smoke smoke scale-smoke chaos-smoke attack-smoke fuzz-smoke cover doc-check
+ci: vet test race race-smoke smoke scale-smoke chaos-smoke attack-smoke tenant-smoke fuzz-smoke cover doc-check

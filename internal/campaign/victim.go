@@ -41,11 +41,12 @@ func (l *VictimLog) Stale() []*Mapping {
 	return out
 }
 
-// sentinel is the byte pattern record i's buffer is filled with at unmap
-// time, standing in for whatever the OS reuses the memory for. Any other
-// value in an unmapped buffer means a device write reached real OS
-// memory after the unmap.
-func sentinel(i int) byte { return byte(0xA1 + i*37) }
+// SentinelByte is the byte pattern record (or tenant) i is filled with at
+// reuse time, standing in for whatever the OS reuses the memory for. Any
+// other value in an audited buffer means a device write reached real OS
+// memory it was never granted. Shared with internal/tenant, whose
+// per-tenant private pages use the same oracle.
+func SentinelByte(i int) byte { return byte(0xA1 + i*37) }
 
 // MapVictimBuf maps a caller-staged buffer for DMA, logs the mapping,
 // and posts an RX descriptor for it — the legitimate, device-visible
@@ -108,7 +109,7 @@ func (t *Target) UnmapVictim(p *sim.Proc, m *Mapping) error {
 	}
 	m.Live = false
 	m.UnmappedAt = p.Now()
-	return t.Mach.Mem.Fill(m.Buf, sentinel(m.Index))
+	return t.Mach.Mem.Fill(m.Buf, SentinelByte(m.Index))
 }
 
 // RunTraffic models a victim driver processing n receive buffers:
@@ -142,7 +143,7 @@ func (t *Target) CorruptedStale() ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		want := sentinel(m.Index)
+		want := SentinelByte(m.Index)
 		for _, b := range snap {
 			if b != want {
 				out = append(out, m.Index)
@@ -163,7 +164,7 @@ func (t *Target) ReplayObserved(p *sim.Proc, i int, payload []byte) iommu.DMARes
 // restoreSentinel re-fills an unmapped mapping's buffer with its
 // sentinel (between probe rounds of multi-shot payloads).
 func (t *Target) restoreSentinel(m *Mapping) error {
-	return t.Mach.Mem.Fill(m.Buf, sentinel(m.Index))
+	return t.Mach.Mem.Fill(m.Buf, SentinelByte(m.Index))
 }
 
 // corrupted reports whether one unmapped mapping's buffer lost its
@@ -173,7 +174,7 @@ func (t *Target) corrupted(m *Mapping) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	want := sentinel(m.Index)
+	want := SentinelByte(m.Index)
 	for _, b := range snap {
 		if b != want {
 			return true, nil

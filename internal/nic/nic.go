@@ -69,8 +69,8 @@ type Queue struct {
 	nic *NIC
 	idx int
 
-	RxRing *Ring
-	TxRing *Ring
+	RxRing *Ring[Desc]
+	TxRing *Ring[Desc]
 
 	rxComp []RxCompletion
 	RxCond *sim.Cond

@@ -16,36 +16,43 @@ type Desc struct {
 	Tag mem.Buf
 }
 
-// Ring is a fixed-size circular descriptor ring. The driver posts at the
-// tail; the device consumes from the head. With the engine's run-one-
-// at-a-time semantics no internal locking is needed, mirroring the
-// single-producer/single-consumer discipline of real per-queue rings.
-type Ring struct {
-	slots []Desc
+// Ring is a fixed-size circular ring, generic over the slot type. The
+// producer posts at the tail; the consumer pops from the head. With the
+// engine's run-one-at-a-time semantics no internal locking is needed,
+// mirroring the single-producer/single-consumer discipline of real
+// per-queue rings. The NIC queues use Ring[Desc]; internal/tenant reuses
+// the same structure for per-tenant application descriptor rings and
+// shadow-slot free lists.
+type Ring[T any] struct {
+	slots []T
 	head  int // next to consume (device)
 	tail  int // next to fill (driver)
 	count int
 }
 
-// NewRing creates a ring with the given number of descriptor slots.
-func NewRing(size int) *Ring {
+// NewRing creates a descriptor ring with the given number of slots (the
+// historical, Desc-typed constructor).
+func NewRing(size int) *Ring[Desc] { return NewRingOf[Desc](size) }
+
+// NewRingOf creates a ring of any slot type with the given capacity.
+func NewRingOf[T any](size int) *Ring[T] {
 	if size <= 0 {
 		size = 256
 	}
-	return &Ring{slots: make([]Desc, size)}
+	return &Ring[T]{slots: make([]T, size)}
 }
 
 // Size returns the ring capacity.
-func (r *Ring) Size() int { return len(r.slots) }
+func (r *Ring[T]) Size() int { return len(r.slots) }
 
-// Len returns the number of posted, unconsumed descriptors.
-func (r *Ring) Len() int { return r.count }
+// Len returns the number of posted, unconsumed slots.
+func (r *Ring[T]) Len() int { return r.count }
 
 // Full reports whether no slots are free.
-func (r *Ring) Full() bool { return r.count == len(r.slots) }
+func (r *Ring[T]) Full() bool { return r.count == len(r.slots) }
 
-// Post adds a descriptor at the tail; it reports false when full.
-func (r *Ring) Post(d Desc) bool {
+// Post adds an entry at the tail; it reports false when full.
+func (r *Ring[T]) Post(d T) bool {
 	if r.Full() {
 		return false
 	}
@@ -55,10 +62,11 @@ func (r *Ring) Post(d Desc) bool {
 	return true
 }
 
-// Pop consumes the head descriptor; ok is false when the ring is empty.
-func (r *Ring) Pop() (Desc, bool) {
+// Pop consumes the head entry; ok is false when the ring is empty.
+func (r *Ring[T]) Pop() (T, bool) {
 	if r.count == 0 {
-		return Desc{}, false
+		var zero T
+		return zero, false
 	}
 	d := r.slots[r.head]
 	r.head = (r.head + 1) % len(r.slots)

@@ -1,0 +1,103 @@
+package tenant
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// dpJob is one received-frame completion handed from the device to a
+// datapath proc: the owning tenant, the consumed zero-copy descriptor
+// (unprotected/capability) or shadow slot (shadow-copy), and the frame
+// length landed by the DMA.
+type dpJob struct {
+	t    *Tenant
+	d    AppDesc
+	slot int
+	n    int
+}
+
+// dpQueue is one trusted datapath core's completion queue. The device
+// (engine context) appends; the proc drains in poll order. Tenants hash
+// onto queues by ID, so one tenant's completions stay ordered.
+type dpQueue struct {
+	proc *sim.Proc
+	cond *sim.Cond
+	jobs []dpJob
+	head int
+}
+
+func (m *Machine) spawnDatapath() {
+	for i := 0; i < m.cfg.DatapathCores; i++ {
+		q := &dpQueue{cond: sim.NewCond(fmt.Sprintf("tenant.dp%d", i))}
+		m.procs = append(m.procs, q)
+	}
+	for i, q := range m.procs {
+		q := q
+		q.proc = m.Eng.Spawn(fmt.Sprintf("tenant-dp%d", i), i, 0, func(p *sim.Proc) {
+			for {
+				q.cond.WaitUntil(p, func() bool { return q.head < len(q.jobs) })
+				j := q.jobs[q.head]
+				q.jobs[q.head] = dpJob{}
+				q.head++
+				if q.head == len(q.jobs) {
+					// Queue drained: recycle the backing array.
+					q.jobs = q.jobs[:0]
+					q.head = 0
+				}
+				m.scheme.complete(m, q, j)
+			}
+		})
+	}
+}
+
+// enqueue hands a completion to the owning tenant's datapath queue at
+// virtual time `at` (DMA + validation latency after frame arrival).
+func (m *Machine) enqueue(t *Tenant, j dpJob, at uint64) {
+	q := m.procs[t.ID%len(m.procs)]
+	m.Eng.Schedule(at, func(when uint64) {
+		q.jobs = append(q.jobs, j)
+		q.cond.SignalAt(when, 1)
+	})
+}
+
+// startIngress runs the shared 40 Gb/s wire at line rate: frames arrive
+// back-to-back, round-robin across benign tenants, with the hostile
+// tenant (when mounted) taking every 4th frame — an elephant flow that
+// keeps attack descriptors executing and, post-quarantine, models flood
+// traffic still occupying wire share.
+func (m *Machine) startIngress() {
+	var next func(now uint64)
+	seq := 0
+	next = func(now uint64) {
+		t := m.pickTarget(seq)
+		seq++
+		end := m.Wire.Reserve(now, m.cfg.FrameSize)
+		m.Eng.Schedule(end, func(when uint64) {
+			m.deliverFrame(t, when)
+			next(when)
+		})
+	}
+	m.Eng.Schedule(0, next)
+}
+
+func (m *Machine) pickTarget(seq int) *Tenant {
+	if m.hostileT != nil && seq%4 == 3 {
+		return m.hostileT
+	}
+	t := m.benign[m.rr%len(m.benign)]
+	m.rr++
+	return t
+}
+
+// deliverFrame is the device-side arrival path: quarantined tenants are
+// dropped at the root (one map lookup — the cheap containment the
+// resilience engine provides), everything else goes through the scheme.
+func (m *Machine) deliverFrame(t *Tenant, now uint64) {
+	m.FramesOnWire++
+	if m.U.Blocked(tenantDev(t.ID)) {
+		t.Stats.BlockDrops++
+		return
+	}
+	m.scheme.deliver(m, t, now)
+}

@@ -1,0 +1,138 @@
+package tenant
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/cycles"
+	"repro/internal/mem"
+)
+
+// Attack program names: the hostile-tenant scenarios, each the
+// tenant-granularity form of an internal/campaign payload (see
+// doc/TENANCY.md for the mapping).
+const (
+	AttackScan    = "arbitrary-scan" // campaign arbitrary-scan: DMA straight at victim memory
+	AttackOverrun = "ring-overrun"   // campaign ring-corrupt: length lie overruns into the neighbour
+	AttackReplay  = "stale-replay"   // campaign replay-window/magazine-reuse: revoked grant, stale descriptor
+)
+
+// Attacks returns the hostile programs in canonical matrix-row order.
+func Attacks() []string { return []string{AttackScan, AttackOverrun, AttackReplay} }
+
+// program is one hostile tenant behaviour. setup runs at machine build
+// (extra grants, scheduled phase changes); refill is called whenever the
+// hostile queue runs empty — a spinning attacker keeping its descriptor
+// ring topped up. Both are ordinary tenant operations: the attacker has
+// no powers a legitimate DPDK app lacks.
+type program struct {
+	name   string
+	setup  func(m *Machine, h *Tenant) error
+	refill func(m *Machine, h *Tenant, now uint64)
+}
+
+var programs = []*program{scanProgram(), overrunProgram(), replayProgram()}
+
+func findProgram(name string) (*program, error) {
+	for _, p := range programs {
+		if p.name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("tenant: unknown attack %q (have %v)", name, Attacks())
+}
+
+// scanProgram posts descriptors aimed directly at the victim's private
+// memory. The addresses are honestly obtainable: raw physical addresses
+// under unprotected/shadow-copy (regions are allocated in tenant order),
+// and the victim's deterministic capability window under capability.
+func scanProgram() *program {
+	return &program{
+		name:  AttackScan,
+		setup: func(m *Machine, h *Tenant) error { return nil },
+		refill: func(m *Machine, h *Tenant, now uint64) {
+			v := m.tenants[m.victimID]
+			base := m.scheme.descAddr(v, v.Private.Addr)
+			for !h.ring.Full() {
+				off := (m.attackSeq * 256) % uint64(mem.PageSize-1024)
+				m.attackSeq++
+				h.ring.Post(AppDesc{
+					Addr:  base + off,
+					Len:   1024,
+					Epoch: h.mainGrant().Epoch,
+				})
+			}
+		},
+	}
+}
+
+// overrunProgram posts a descriptor whose base lies inside the hostile
+// tenant's own region but whose length is a lie: the DMA runs off the
+// end of the region into the physically adjacent victim private page.
+func overrunProgram() *program {
+	return &program{
+		name:  AttackOverrun,
+		setup: func(m *Machine, h *Tenant) error { return nil },
+		refill: func(m *Machine, h *Tenant, now uint64) {
+			base := m.scheme.descAddr(h, h.Region.End()-256)
+			for !h.ring.Full() {
+				h.ring.Post(AppDesc{
+					Addr:  base,
+					Len:   256 + mem.PageSize, // overruns the grant by a full page
+					Epoch: h.mainGrant().Epoch,
+				})
+			}
+		},
+	}
+}
+
+// replayProgram registers a scratch page, posts a (then-valid)
+// descriptor for it, deregisters the grant — whereupon the freed page is
+// immediately reused for victim data, the buffer-recycling reality the
+// campaign sentinels model — and keeps replaying the stale descriptor.
+func replayProgram() *program {
+	p := &program{name: AttackReplay}
+	p.setup = func(m *Machine, h *Tenant) error {
+		base, err := m.Mem.AllocPages(0, 1)
+		if err != nil {
+			return err
+		}
+		scratch := mem.Buf{Addr: base, Size: mem.PageSize}
+		g, err := m.scheme.grant(m, h, scratch)
+		if err != nil {
+			return err
+		}
+		m.replayed = AppDesc{
+			Addr:  g.Base,
+			Len:   mem.PageSize,
+			Epoch: g.Epoch,
+		}
+		h.ring.Post(m.replayed)
+		// Revocation fires at a seed-jittered point early in the run;
+		// free + victim-realloc happen atomically in virtual time, so
+		// no frame can land in the gap.
+		revokeAt := cycles.FromMicros(30 + float64(uint64(m.cfg.Seed)&7))
+		m.Eng.Schedule(revokeAt, func(now uint64) {
+			m.scheme.revoke(m, h, g)
+			if err := m.Mem.FreePages(scratch.Addr, 1); err != nil {
+				return
+			}
+			// The allocator's free list is LIFO: the victim's next
+			// allocation reuses the very frame the hostile tenant still
+			// holds a descriptor for.
+			spill, err := m.Mem.AllocPages(0, 1)
+			if err != nil {
+				return
+			}
+			m.spill = mem.Buf{Addr: spill, Size: mem.PageSize}
+			_ = m.Mem.Fill(m.spill, campaign.SentinelByte(m.victimID))
+		})
+		return nil
+	}
+	p.refill = func(m *Machine, h *Tenant, now uint64) {
+		for !h.ring.Full() {
+			h.ring.Post(m.replayed)
+		}
+	}
+	return p
+}
