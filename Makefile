@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-smoke smoke baseline scale-smoke scale-baseline bench-json chaos-smoke chaos-baseline attack-smoke attack-baseline tenant-smoke tenant-baseline bench profile fuzz fuzz-smoke cover doc-check ci
+.PHONY: build vet test race race-smoke smoke baseline scale-smoke scale-baseline bench-json chaos-smoke chaos-baseline attack-smoke attack-baseline tenant-smoke tenant-baseline daemon-smoke bench profile fuzz fuzz-smoke cover doc-check ci
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,8 @@ race:
 # race on shared state fails fast without the cost of `make race`.
 race-smoke:
 	$(GO) test -race -count=1 \
-		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace|Fig1Extended|ParallelHost|Campaign|Tenant' \
-		./internal/bench/ ./internal/chaos/ ./internal/iova/ ./internal/shadow/ ./internal/campaign/ ./internal/tenant/
+		-run 'Farm|RunSuite|PointSeed|MagazineStatsRace|Fig1Extended|ParallelHost|Campaign|Tenant|Store|Daemon' \
+		./internal/bench/ ./internal/chaos/ ./internal/iova/ ./internal/shadow/ ./internal/campaign/ ./internal/tenant/ ./internal/store/ ./internal/daemon/
 
 # Fast end-to-end check: regenerate the full evaluation at a 1 ms window,
 # write the machine-readable artifact, and gate it against the committed
@@ -99,6 +99,13 @@ tenant-smoke:
 tenant-baseline:
 	$(GO) run ./cmd/tenantbench -seed 1 -q -json ci/tenant-baseline.json
 
+# Daemon smoke: start a simd on a fresh store, serve every baseline
+# suite through it (benchdiff -watch; 0 drift vs the committed gates),
+# require the warm memoized path to be >= 5x faster than a cold compute,
+# and SIGTERM mid-flight to assert the graceful drain (doc/DAEMON.md).
+daemon-smoke:
+	sh ci/daemon-smoke.sh
+
 # Host-side microbenchmarks of the simulation substrate (scheduler fence
 # path, page store, DMA translation). Results are host-dependent — they
 # are written to bench-host.txt for eyeballing, not gated.
@@ -154,4 +161,4 @@ cover:
 doc-check:
 	$(GO) run ./ci/doccheck
 
-ci: vet test race race-smoke smoke scale-smoke chaos-smoke attack-smoke tenant-smoke fuzz-smoke cover doc-check
+ci: vet test race race-smoke smoke scale-smoke chaos-smoke attack-smoke tenant-smoke daemon-smoke fuzz-smoke cover doc-check

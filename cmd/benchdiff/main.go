@@ -4,16 +4,28 @@
 //
 //	benchdiff baseline.json candidate.json
 //
+// With -watch it becomes an incremental gate: the candidate is requested
+// from a running simd daemon (doc/DAEMON.md) instead of read from disk.
+// The daemon memoizes per (seed, config, code-fingerprint), so an
+// unchanged tree re-verifies from cache in milliseconds and only a
+// rebuilt binary triggers recomputation.
+//
+//	benchdiff -watch ci/baseline.json                   # poll forever
+//	benchdiff -watch -count 1 ci/chaos-baseline.json    # one-shot gate
+//
 // Exit status: 0 = pass, 1 = regression or claim flip, 2 = usage/load error.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/report"
 )
 
@@ -46,14 +58,35 @@ func main() {
 	absFloor := flag.Float64("abs-floor", 0, "ignore changes smaller than this absolute magnitude")
 	allowMissing := flag.Bool("allow-missing", false, "missing experiments/series/metrics are notes, not failures")
 	quiet := flag.Bool("q", false, "print only the verdict line")
+	watch := flag.Bool("watch", false, "fetch the candidate from a simd daemon and re-gate on an interval")
+	socket := flag.String("socket", "/tmp/simd.sock", "simd daemon socket (-watch mode)")
+	interval := flag.Duration("interval", 30*time.Second, "delay between gates (-watch mode)")
+	count := flag.Int("count", 0, "stop after this many gates, 0 = forever (-watch mode)")
+	seed := flag.Int64("seed", 0, "seed for daemon runs, 0 = tool default (-watch mode)")
 	metricTol := metricTolFlag{}
 	flag.Var(metricTol, "metric-tol", "per-metric tolerance override, metric=tol (repeatable)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: benchdiff [flags] baseline.json candidate.json\n")
+			"usage: benchdiff [flags] baseline.json candidate.json\n"+
+				"       benchdiff -watch [flags] baseline.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	opts := report.DiffOptions{
+		Tol:           *tol,
+		MetricTol:     metricTol,
+		TieMargin:     *tie,
+		AbsFloor:      *absFloor,
+		IgnoreMissing: *allowMissing,
+	}
+	if *watch {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		watchLoop(flag.Arg(0), *socket, *interval, *count, *seed, opts, *quiet)
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -69,24 +102,111 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: candidate: %v\n", err)
 		os.Exit(2)
 	}
-	r, err := report.Diff(a, b, report.DiffOptions{
-		Tol:           *tol,
-		MetricTol:     metricTol,
-		TieMargin:     *tie,
-		AbsFloor:      *absFloor,
-		IgnoreMissing: *allowMissing,
-	})
+	diffAndPrint(a, b, opts, *quiet, true)
+}
+
+// diffAndPrint runs one comparison; when exit is true it terminates the
+// process with the gate's status, otherwise it reports pass/fail.
+func diffAndPrint(a, b *report.Artifact, opts report.DiffOptions, quiet, exit bool) bool {
+	r, err := report.Diff(a, b, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+		if exit {
+			os.Exit(2)
+		}
+		return false
 	}
 	out := r.String()
-	if *quiet {
+	if quiet {
 		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 		out = lines[len(lines)-1] + "\n"
 	}
 	fmt.Print(out)
-	if !r.OK() {
+	if exit && !r.OK() {
 		os.Exit(1)
 	}
+	return r.OK()
+}
+
+// watchLoop re-gates the baseline against daemon-served candidates. Each
+// round asks simd for the run the baseline describes; the daemon's store
+// makes an unchanged tree a cache hit, so the loop is cheap enough to
+// leave running next to an edit-build cycle.
+func watchLoop(baselinePath, socket string, interval time.Duration, count int, seed int64, opts report.DiffOptions, quiet bool) {
+	base, err := report.Load(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	spec, err := specFromArtifact(base, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	c := &daemon.Client{Socket: socket}
+	failed := false
+	for round := 1; count == 0 || round <= count; round++ {
+		// noDegrade: a reduced-window preview must never be graded as the
+		// real candidate.
+		resp, err := c.Run(spec, 0, false, true)
+		ok := false
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "benchdiff: daemon: %v\n", err)
+		case !resp.OK:
+			fmt.Fprintf(os.Stderr, "benchdiff: daemon: %s: %s\n", resp.ErrKind, resp.Err)
+		default:
+			cand, derr := report.Decode(bytes.NewReader(resp.Artifact))
+			if derr != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: daemon artifact: %v\n", derr)
+				break
+			}
+			state := "computed"
+			if resp.Cached {
+				state = "cached"
+			}
+			fmt.Printf("watch %s: %s candidate (%s, key %.12s)\n",
+				time.Now().Format("15:04:05"), state, spec.Tool, resp.Key)
+			ok = diffAndPrint(base, cand, opts, quiet, false)
+		}
+		if !ok {
+			failed = true
+		}
+		if count == 0 || round < count {
+			time.Sleep(interval)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// specFromArtifact reconstructs the daemon run that regenerates a
+// baseline artifact: the tool and window come from the artifact itself,
+// the experiment/scenario list from its experiment names. Attack and
+// tenant baselines always cover the full matrix, so they map to "all".
+func specFromArtifact(a *report.Artifact, seed int64) (daemon.RunSpec, error) {
+	spec := daemon.RunSpec{Tool: a.Tool, Seed: seed, WindowMs: a.WindowMs}
+	switch a.Tool {
+	case "reproduce":
+		var names []string
+		for _, e := range a.Experiments {
+			if e.Name == "farm" { // runtime telemetry, not a requestable experiment
+				continue
+			}
+			names = append(names, e.Name)
+		}
+		spec.Experiments = strings.Join(names, ",")
+	case "chaosbench":
+		var names []string
+		for _, e := range a.Experiments {
+			names = append(names, strings.TrimPrefix(e.Name, "chaos-"))
+		}
+		spec.Scenarios = strings.Join(names, ",")
+	case "attackbench", "tenantbench":
+		// Full-matrix tools; the daemon defaults cover the baseline shape.
+	default:
+		return spec, fmt.Errorf("baseline tool %q has no daemon mapping", a.Tool)
+	}
+	return spec, nil
 }

@@ -19,13 +19,19 @@
 // splitmix64 mix, so campaign results depend only on the base seed and
 // position, never on -parallel or completion order. Reports print in
 // seed order; the first failing trace is minimized.
+//
+// -timeout bounds the run: on expiry the trace that was executing (or the
+// first trace the campaign never finished) is written to -repro as a
+// replayable diagnostic, and the process exits 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/dmafuzz"
@@ -45,7 +51,15 @@ func main() {
 	stall := flag.Uint64("stall-cycles", 0, "extra invalidation-queue latency per command (fault injection)")
 	invTimeout := flag.Uint64("inv-timeout", 0, "arm the ITE model: invalidation waits past this many cycles time out and recover (fault injection)")
 	noMinimize := flag.Bool("no-minimize", false, "skip trace minimization on failure")
+	timeout := flag.Duration("timeout", 0, "abort after this wall-clock duration; the interrupted trace is written to -repro for replay (0 = unbounded)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	plan := dmafuzz.FaultPlan{AllocFailEvery: *allocFail, StallCycles: *stall, InvTimeout: *invTimeout}
 	switch *injectBug {
@@ -68,8 +82,8 @@ func main() {
 		if *replay != "" {
 			fatal(fmt.Errorf("-seeds and -replay are mutually exclusive"))
 		}
-		runCampaign(*seed, *seedCount, *n, *parallel, backends, plan,
-			*jsonOut, *noMinimize, *reproOut)
+		runCampaign(ctx, *seed, *seedCount, *n, *parallel, backends, plan,
+			*jsonOut, *noMinimize, *reproOut, *timeout)
 		return
 	}
 
@@ -88,9 +102,28 @@ func main() {
 		tr = dmafuzz.Generate(*seed, *n)
 	}
 
-	rep, err := dmafuzz.RunTrace(tr, backends, plan)
-	if err != nil {
-		fatal(err)
+	// RunTrace has no internal cancellation point, so the timeout races it
+	// from outside: on expiry the generated trace itself is the diagnostic —
+	// written replayable, so the hang reproduces under -replay.
+	type traceOut struct {
+		rep *dmafuzz.Report
+		err error
+	}
+	resc := make(chan traceOut, 1)
+	go func() {
+		rep, err := dmafuzz.RunTrace(tr, backends, plan)
+		resc <- traceOut{rep, err}
+	}()
+	var rep *dmafuzz.Report
+	select {
+	case r := <-resc:
+		if r.err != nil {
+			fatal(r.err)
+		}
+		rep = r.rep
+	case <-ctx.Done():
+		writeHungTrace(tr, *reproOut, *timeout)
+		os.Exit(1)
 	}
 
 	if *jsonOut {
@@ -133,8 +166,8 @@ func main() {
 // merge is in seed order (reports, output, exit status) regardless of
 // which worker finished first, and each trace's seed depends only on
 // (base, index), so a campaign is reproducible at any -parallel.
-func runCampaign(base int64, count, n, parallel int, backends []string,
-	plan dmafuzz.FaultPlan, jsonOut, noMinimize bool, reproOut string) {
+func runCampaign(ctx context.Context, base int64, count, n, parallel int, backends []string,
+	plan dmafuzz.FaultPlan, jsonOut, noMinimize bool, reproOut string, timeout time.Duration) {
 	var farm *bench.Farm
 	if parallel != 1 {
 		farm = bench.NewFarm(parallel)
@@ -142,7 +175,7 @@ func runCampaign(base int64, count, n, parallel int, backends []string,
 	}
 	traces := make([]*dmafuzz.Trace, count)
 	reps := make([]*dmafuzz.Report, count)
-	err := farm.Map(count, func(i int) error {
+	err := farm.WithContext(ctx).Map(count, func(i int) error {
 		tr := dmafuzz.Generate(bench.PointSeed(base, i), n)
 		rep, err := dmafuzz.RunTrace(tr, backends, plan)
 		if err != nil {
@@ -152,7 +185,28 @@ func runCampaign(base int64, count, n, parallel int, backends []string,
 		return nil
 	})
 	if err != nil {
-		fatal(err)
+		if ctx.Err() == nil {
+			fatal(err)
+		}
+		// Timed out: report how far the campaign got and leave a replayable
+		// trace for the first seed that never finished. Generate is
+		// deterministic in (base, index), so the regenerated trace is
+		// exactly the one that was cut off.
+		done := 0
+		hung := -1
+		for i, r := range reps {
+			if r != nil {
+				done++
+			} else if hung < 0 {
+				hung = i
+			}
+		}
+		fmt.Fprintf(os.Stderr, "dmafuzz: campaign timed out after %s: %d/%d seeds completed\n",
+			timeout, done, count)
+		if hung >= 0 {
+			writeHungTrace(dmafuzz.Generate(bench.PointSeed(base, hung), n), reproOut, timeout)
+		}
+		os.Exit(1)
 	}
 	failed := -1
 	var totalViolations int
@@ -230,6 +284,22 @@ func printSummary(rep *dmafuzz.Report) {
 	if rep.Pass {
 		fmt.Printf("\nPASS — windows observed exactly where the paper predicts them\n")
 	}
+}
+
+// writeHungTrace persists the trace a timed-out run was working on, so
+// the hang can be reproduced with -replay.
+func writeHungTrace(tr *dmafuzz.Trace, reproOut string, timeout time.Duration) {
+	blob, err := tr.MarshalRepro()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmafuzz: timed out after %s; marshaling interrupted trace: %v\n", timeout, err)
+		return
+	}
+	if err := os.WriteFile(reproOut, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dmafuzz: timed out after %s; writing interrupted trace: %v\n", timeout, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dmafuzz: timed out after %s; interrupted trace (seed %d, %d ops) written to %s — replay with -replay %s\n",
+		timeout, tr.Seed, len(tr.Ops), reproOut, reproOut)
 }
 
 func fatal(err error) {

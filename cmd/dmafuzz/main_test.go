@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dmafuzz"
+)
+
+// runMain invokes main with a fresh flag set, as the shell would.
+func runMain(t *testing.T, args ...string) {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet("dmafuzz", flag.ExitOnError)
+	os.Args = append([]string{"dmafuzz"}, args...)
+	main()
+}
+
+func TestMainSingleTrace(t *testing.T) {
+	repro := filepath.Join(t.TempDir(), "repro.json")
+	runMain(t, "-seed", "1", "-n", "60", "-repro", repro)
+	if _, err := os.Stat(repro); err == nil {
+		t.Error("passing run wrote a repro file")
+	}
+}
+
+func TestMainSingleTraceJSON(t *testing.T) {
+	runMain(t, "-seed", "2", "-n", "40", "-json",
+		"-backends", strings.Join(dmafuzz.Backends[:2], ","))
+}
+
+func TestMainReplay(t *testing.T) {
+	dir := t.TempDir()
+	tr := dmafuzz.Generate(3, 30)
+	blob, err := tr.MarshalRepro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trace.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runMain(t, "-replay", path, "-repro", filepath.Join(dir, "out.json"))
+}
+
+func TestRunCampaignPass(t *testing.T) {
+	repro := filepath.Join(t.TempDir(), "repro.json")
+	runCampaign(context.Background(), 5, 2, 40, 1, dmafuzz.Backends,
+		dmafuzz.FaultPlan{}, false, true, repro, 0)
+	runCampaign(context.Background(), 5, 2, 40, 1, dmafuzz.Backends,
+		dmafuzz.FaultPlan{}, true, true, repro, 0)
+}
+
+func TestWriteHungTrace(t *testing.T) {
+	tr := dmafuzz.Generate(1, 20)
+	path := filepath.Join(t.TempDir(), "hung.json")
+	writeHungTrace(tr, path, 0)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dmafuzz.UnmarshalRepro(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != tr.Seed || len(got.Ops) != len(tr.Ops) {
+		t.Errorf("round-tripped trace: seed %d, %d ops", got.Seed, len(got.Ops))
+	}
+	// An unwritable path must degrade to a diagnostic, not a crash.
+	writeHungTrace(tr, filepath.Join(t.TempDir(), "no/such/dir/x.json"), 0)
+}

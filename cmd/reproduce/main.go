@@ -14,9 +14,18 @@
 // "-json auto" derives the filename as BENCH_<YYYY-MM-DD>.json. When a
 // section fails, the completed sections are still written to the -json
 // path as a partial diagnostic artifact.
+//
+// -timeout bounds the whole run: on expiry the farm cancels queued data
+// points, the completed sections land in the partial artifact, and the
+// process exits 1 (a hard watchdog force-exits at 2x if cancellation
+// wedges). -daemon <socket> skips in-process computation entirely and
+// requests the artifact from a running simd (doc/DAEMON.md), which serves
+// memoized results instantly when the tree hasn't changed.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,7 +36,9 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/bench"
+	"repro/internal/daemon"
 	"repro/internal/prof"
+	"repro/internal/report"
 )
 
 func artifactPath(jsonOut string) string {
@@ -47,7 +58,14 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	cycleReport := flag.Bool("cyclereport", false, "append the cycle-attribution tables (simulated-cycle profiler, doc/OBSERVABILITY.md)")
 	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the 16-core RX workload to this path")
+	timeout := flag.Duration("timeout", 0, "abort after this wall-clock duration; completed sections become a partial diagnostic artifact (0 = unbounded)")
+	daemonSock := flag.String("daemon", "", "request the artifact from a running simd daemon at this unix socket instead of computing in-process")
 	flag.Parse()
+
+	if *daemonSock != "" {
+		runViaDaemon(*daemonSock, *window, *skipSensitivity, *experiment, *timeout, *jsonOut)
+		return
+	}
 
 	stop, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -55,9 +73,23 @@ func main() {
 	}
 	defer stop()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		// Hard watchdog: cooperative cancellation drains the farm queue but
+		// lets executing points finish; if one wedges, force the exit at 2x.
+		time.AfterFunc(2*(*timeout), func() {
+			fmt.Fprintf(os.Stderr, "reproduce: watchdog: run still alive %s after the %s timeout, force-exiting\n",
+				*timeout, *timeout)
+			os.Exit(1)
+		})
+	}
+
 	farm := bench.NewFarm(*parallel)
 	defer farm.Close()
-	opt := bench.Options{WindowMs: *window, Farm: farm}
+	opt := bench.Options{WindowMs: *window, Farm: farm.WithContext(ctx)}
 	start := time.Now()
 
 	sections := bench.Suite(!*skipSensitivity)
@@ -116,7 +148,13 @@ func main() {
 	if err != nil {
 		// The completed sections are still worth a record when a long run
 		// dies near the end: write them as a partial diagnostic artifact.
-		log.Printf("reproduce: %v", err)
+		if ctx.Err() != nil {
+			// err is an errors.Join over every canceled point — hundreds of
+			// identical lines; the timeout itself is the whole story.
+			log.Printf("reproduce: timed out after %s, queued data points canceled", *timeout)
+		} else {
+			log.Printf("reproduce: %v", err)
+		}
 		if *jsonOut != "" {
 			path := artifactPath(*jsonOut)
 			a := bench.Artifact("reproduce", *window, nil, tables)
@@ -191,4 +229,46 @@ func main() {
 		}
 		fmt.Printf("artifact written to %s\n", path)
 	}
+}
+
+// runViaDaemon delegates the whole run to a simd daemon. The daemon
+// computes with its warm farm (or serves the memoized artifact when the
+// same binary already ran this spec) and returns the identical
+// internal/report artifact the in-process path would have written.
+func runViaDaemon(socket string, window float64, skipSensitivity bool, experiment string, timeout time.Duration, jsonOut string) {
+	spec := daemon.RunSpec{
+		Tool:            "reproduce",
+		WindowMs:        window,
+		SkipSensitivity: skipSensitivity,
+		Experiments:     experiment,
+	}
+	c := &daemon.Client{Socket: socket}
+	start := time.Now()
+	// noDegrade: the caller asked for the real report, never a preview.
+	resp, err := c.Run(spec, timeout, false, true)
+	if err != nil {
+		log.Fatalf("reproduce: daemon: %v", err)
+	}
+	if !resp.OK {
+		log.Fatalf("reproduce: daemon: %s: %s", resp.ErrKind, resp.Err)
+	}
+	a, err := report.Decode(bytes.NewReader(resp.Artifact))
+	if err != nil {
+		log.Fatalf("reproduce: daemon artifact: %v", err)
+	}
+	state := "computed"
+	if resp.Cached {
+		state = "memoized"
+	}
+	fmt.Fprintf(os.Stderr, "reproduce: %s by daemon in %s: %d experiments, %d bytes, key %.12s\n",
+		state, time.Since(start).Round(time.Millisecond), len(a.Experiments), len(resp.Artifact), resp.Key)
+	if jsonOut != "" {
+		path := artifactPath(jsonOut)
+		if err := os.WriteFile(path, resp.Artifact, 0o644); err != nil {
+			log.Fatalf("reproduce: writing artifact: %v", err)
+		}
+		fmt.Printf("artifact written to %s\n", path)
+		return
+	}
+	os.Stdout.Write(resp.Artifact)
 }

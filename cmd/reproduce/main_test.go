@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/report"
+)
+
+// runMain invokes main with a fresh flag set, as the shell would.
+func runMain(t *testing.T, args ...string) {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet("reproduce", flag.ExitOnError)
+	os.Args = append([]string{"reproduce"}, args...)
+	main()
+}
+
+func TestMainWritesArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.json")
+	runMain(t, "-window", "0.5", "-skip-sensitivity",
+		"-experiment", "table1,fig3", "-json", out)
+	a, err := report.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Experiments) != 3 || a.Experiments[0].Name != "table1" ||
+		a.Experiments[2].Name != "farm" {
+		names := make([]string, len(a.Experiments))
+		for i, e := range a.Experiments {
+			names[i] = e.Name
+		}
+		t.Fatalf("experiments = %v, want [table1 fig3 farm]", names)
+	}
+	if len(a.Attacks) == 0 {
+		t.Error("table1 run recorded no attack verdicts")
+	}
+	if a.CreatedAt == "" {
+		t.Error("artifact missing created_at")
+	}
+}
+
+func TestMainViaDaemon(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "d.sock")
+	d, err := daemon.New(daemon.Config{
+		Socket:      sock,
+		StoreDir:    filepath.Join(dir, "store"),
+		Parallel:    2,
+		Fingerprint: "test",
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve()
+	t.Cleanup(d.Shutdown)
+	c := &daemon.Client{Socket: sock}
+	if err := c.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "cold.json")
+	runMain(t, "-daemon", sock, "-window", "0.5", "-skip-sensitivity",
+		"-experiment", "fig3", "-json", out)
+	a, err := report.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Experiments) != 2 || a.Experiments[0].Name != "fig3" {
+		t.Fatalf("daemon artifact has %d experiments", len(a.Experiments))
+	}
+
+	// Second request for the same spec must be served memoized and
+	// byte-identical.
+	warm := filepath.Join(dir, "warm.json")
+	runMain(t, "-daemon", sock, "-window", "0.5", "-skip-sensitivity",
+		"-experiment", "fig3", "-json", warm)
+	b1, _ := os.ReadFile(out)
+	b2, err := os.ReadFile(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("memoized daemon artifact differs from the computed one")
+	}
+}
+
+func TestArtifactPath(t *testing.T) {
+	if p := artifactPath("x.json"); p != "x.json" {
+		t.Errorf("artifactPath passthrough = %q", p)
+	}
+	if p := artifactPath("auto"); filepath.Ext(p) != ".json" || len(p) != len("BENCH_2006-01-02.json") {
+		t.Errorf("artifactPath(auto) = %q", p)
+	}
+}

@@ -1,0 +1,139 @@
+// Command simctl is the control client for the simd daemon
+// (internal/daemon, doc/DAEMON.md).
+//
+//	simctl ping   [-socket /tmp/simd.sock]
+//	simctl wait   [-timeout 30s]            # block until the daemon answers
+//	simctl health                           # watchdog surface as JSON
+//	simctl run -tool reproduce -window 1 -skip-sensitivity -json out.json
+//	simctl run -tool chaosbench -seed 1
+//	simctl run -tool attackbench -seed 1 -no-cache
+//
+// run exits 0 on success (the response notes whether the artifact was
+// served from cache or degraded), 1 on a typed daemon error (overload,
+// deadline, ...), and 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"flag"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "ping":
+		fs := flag.NewFlagSet("ping", flag.ExitOnError)
+		socket := sockFlag(fs)
+		fs.Parse(args)
+		c := &daemon.Client{Socket: *socket}
+		if err := c.Ping(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "wait":
+		fs := flag.NewFlagSet("wait", flag.ExitOnError)
+		socket := sockFlag(fs)
+		timeout := fs.Duration("timeout", 30*time.Second, "give up after this long")
+		fs.Parse(args)
+		c := &daemon.Client{Socket: *socket}
+		if err := c.WaitReady(*timeout); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ready")
+	case "health":
+		fs := flag.NewFlagSet("health", flag.ExitOnError)
+		socket := sockFlag(fs)
+		fs.Parse(args)
+		c := &daemon.Client{Socket: *socket}
+		h, err := c.Health()
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(h); err != nil {
+			fatal(err)
+		}
+	case "run":
+		runCmd(args)
+	default:
+		usage()
+	}
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	socket := sockFlag(fs)
+	var spec daemon.RunSpec
+	fs.StringVar(&spec.Tool, "tool", "reproduce", "tool to run: reproduce|chaosbench|attackbench|tenantbench")
+	fs.Int64Var(&spec.Seed, "seed", 0, "deterministic seed (chaosbench/attackbench/tenantbench; 0 = tool default)")
+	fs.Float64Var(&spec.WindowMs, "window", 0, "simulated ms per data point (reproduce/chaosbench; 0 = tool default)")
+	fs.BoolVar(&spec.SkipSensitivity, "skip-sensitivity", false, "reproduce: skip the sensitivity analysis")
+	fs.StringVar(&spec.Experiments, "experiment", "all", "reproduce: comma-separated experiment names, or 'all'")
+	fs.IntVar(&spec.Cores, "cores", 0, "chaosbench: victim cores (0 = default)")
+	fs.StringVar(&spec.System, "system", "", "chaosbench: victim protection strategy (default strict)")
+	fs.StringVar(&spec.Scenarios, "scenarios", "all", "chaosbench: comma-separated scenario names, or 'all'")
+	fs.StringVar(&spec.Payloads, "payloads", "all", "attackbench: comma-separated payload names, or 'all'")
+	fs.StringVar(&spec.Systems, "systems", "all", "attackbench: comma-separated backends, or 'all'")
+	fs.StringVar(&spec.Schemes, "schemes", "all", "tenantbench: comma-separated schemes, or 'all'")
+	fs.StringVar(&spec.Attacks, "attacks", "all", "tenantbench: comma-separated hostile programs, or 'all'")
+	fs.StringVar(&spec.Tenants, "tenants", "", "tenantbench: comma-separated tenant counts (default library sweep)")
+	fs.StringVar(&spec.Frames, "frames", "", "tenantbench: comma-separated frame sizes (default library sweep)")
+	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = daemon default)")
+	noCache := fs.Bool("no-cache", false, "force recomputation (result is still stored)")
+	noDegrade := fs.Bool("no-degrade", false, "reject under overload instead of serving a reduced-window preview")
+	jsonOut := fs.String("json", "", "write the artifact to this path (default: stdout)")
+	quiet := fs.Bool("q", false, "suppress the status line")
+	fs.Parse(args)
+
+	c := &daemon.Client{Socket: *socket}
+	resp, err := c.Run(spec, *deadline, *noCache, *noDegrade)
+	if err != nil {
+		fatal(err)
+	}
+	if !resp.OK {
+		fmt.Fprintf(os.Stderr, "simctl: %s: %s\n", resp.ErrKind, resp.Err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		state := "computed"
+		if resp.Cached {
+			state = "cached"
+		}
+		if resp.Degraded {
+			state += " (degraded preview)"
+		}
+		fmt.Fprintf(os.Stderr, "simctl: %s %s, %d bytes, key %.12s\n",
+			spec.Tool, state, len(resp.Artifact), resp.Key)
+	}
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, resp.Artifact, 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	os.Stdout.Write(resp.Artifact)
+}
+
+func sockFlag(fs *flag.FlagSet) *string {
+	return fs.String("socket", "/tmp/simd.sock", "daemon unix socket")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "simctl: %v\n", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: simctl <ping|wait|health|run> [flags]  (simctl <cmd> -h for flags)")
+	os.Exit(2)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/report"
+)
+
+// startDaemon brings up an in-process simd for the CLI to talk to.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "d.sock")
+	d, err := daemon.New(daemon.Config{
+		Socket:      sock,
+		StoreDir:    filepath.Join(dir, "store"),
+		Parallel:    2,
+		Fingerprint: "test",
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve()
+	t.Cleanup(d.Shutdown)
+	c := &daemon.Client{Socket: sock}
+	if err := c.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return sock
+}
+
+// runCtl invokes main exactly as the shell would. Every subcommand uses
+// its own FlagSet, so repeated calls in one process are safe.
+func runCtl(args ...string) {
+	os.Args = append([]string{"simctl"}, args...)
+	main()
+}
+
+func TestCLIAgainstDaemon(t *testing.T) {
+	sock := startDaemon(t)
+	runCtl("ping", "-socket", sock)
+	runCtl("wait", "-socket", sock, "-timeout", "5s")
+	runCtl("health", "-socket", sock)
+
+	out := filepath.Join(t.TempDir(), "chaos.json")
+	runCtl("run", "-socket", sock, "-tool", "chaosbench", "-seed", "1",
+		"-window", "1", "-scenarios", "faultstorm", "-json", out)
+	a, err := report.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tool != "chaosbench" || len(a.Experiments) == 0 {
+		t.Fatalf("run artifact: tool %q, %d experiments", a.Tool, len(a.Experiments))
+	}
+
+	// Same spec again: the cached branch of the status line.
+	runCtl("run", "-socket", sock, "-tool", "chaosbench", "-seed", "1",
+		"-window", "1", "-scenarios", "faultstorm", "-json", out)
+}

@@ -1,0 +1,112 @@
+// Command simd is the always-on simulation daemon (internal/daemon,
+// doc/DAEMON.md): it keeps a warm bench.Farm across requests, serves
+// cmd/simctl / cmd/benchdiff -watch / cmd/reproduce -daemon clients over
+// a unix socket, and memoizes (tool, seed, config, code-fingerprint) →
+// artifact in a crash-safe content-addressed store. SIGTERM/SIGINT drain
+// gracefully: in-flight requests complete and flush before exit.
+//
+//	simd -socket /tmp/simd.sock -store /tmp/simd-store
+//	simd -parallel 4 -max-inflight 2
+//	simd -inject panic-every=3,corrupt-store-every=5   # chaos mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+// parseInject decodes the -inject knob list, e.g.
+// "panic-every=3,corrupt-store-every=5,fail-store-read-every=7".
+func parseInject(s string) (daemon.Inject, error) {
+	var inj daemon.Inject
+	if s == "" {
+		return inj, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return inj, fmt.Errorf("bad -inject entry %q (want key=value)", part)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return inj, fmt.Errorf("bad -inject value %q: %v", part, err)
+		}
+		switch k {
+		case "panic-every":
+			inj.PanicEvery = n
+		case "corrupt-store-every":
+			inj.StoreCorruptEvery = n
+		case "fail-store-read-every":
+			inj.StoreFailReadEvery = n
+		default:
+			return inj, fmt.Errorf("unknown -inject knob %q (have panic-every, corrupt-store-every, fail-store-read-every)", k)
+		}
+	}
+	return inj, nil
+}
+
+func main() {
+	socket := flag.String("socket", "/tmp/simd.sock", "unix socket to listen on")
+	storeDir := flag.String("store", "/tmp/simd-store", "result-store directory")
+	parallel := flag.Int("parallel", 0, "farm workers (<=0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrently executing run requests (0 = default 2)")
+	queueBound := flag.Int("queue-bound", 0, "max requests waiting for admission before load-shedding (0 = default 8)")
+	previewWindow := flag.Float64("preview-window", 0, "degraded-preview window in simulated ms (0 = default 0.5)")
+	retries := flag.Int("retries", 0, "bounded retries for transient failures (0 = default 2)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = 10m)")
+	inject := flag.String("inject", "", "fault-injection knobs: panic-every=N,corrupt-store-every=N,fail-store-read-every=N")
+	quiet := flag.Bool("q", false, "suppress the per-event log")
+	flag.Parse()
+
+	inj, err := parseInject(*inject)
+	if err != nil {
+		log.Fatalf("simd: %v", err)
+	}
+	cfg := daemon.Config{
+		Socket:          *socket,
+		StoreDir:        *storeDir,
+		Parallel:        *parallel,
+		MaxInflight:     *maxInflight,
+		QueueBound:      *queueBound,
+		PreviewWindowMs: *previewWindow,
+		Retries:         *retries,
+		DefaultDeadline: *deadline,
+		Inject:          inj,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	d, err := daemon.New(cfg)
+	if err != nil {
+		log.Fatalf("simd: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "simd: listening on %s (store %s)\n", *socket, *storeDir)
+
+	drained := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "simd: %v: draining in-flight requests\n", sig)
+		start := time.Now()
+		d.Shutdown()
+		fmt.Fprintf(os.Stderr, "simd: drained in %s, exiting\n", time.Since(start).Round(time.Millisecond))
+		close(drained)
+	}()
+
+	if err := d.Serve(); err != nil {
+		log.Fatalf("simd: %v", err)
+	}
+	// Serve returns nil only on the graceful path; wait for the drain to
+	// finish flushing responses before the process exits.
+	<-drained
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseInject(t *testing.T) {
+	inj, err := parseInject("panic-every=3, corrupt-store-every=5,fail-store-read-every=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.PanicEvery != 3 || inj.StoreCorruptEvery != 5 || inj.StoreFailReadEvery != 7 {
+		t.Errorf("parsed %+v", inj)
+	}
+	if inj, err := parseInject(""); err != nil || inj.PanicEvery != 0 {
+		t.Errorf("empty spec: %+v, %v", inj, err)
+	}
+	for _, bad := range []string{"panic-every", "panic-every=x", "frob=1"} {
+		if _, err := parseInject(bad); err == nil {
+			t.Errorf("parseInject(%q) accepted", bad)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -28,6 +29,13 @@ import (
 // group completes; results land in caller-owned slices indexed by point,
 // which is what makes the merge deterministic.
 //
+// A Farm value is a cheap handle onto a shared worker pool. WithContext
+// derives a handle whose Map calls are cancellable: once the context is
+// done, that handle's queued-but-unstarted points complete immediately
+// with ctx.Err() instead of running, while points from other handles on
+// the same pool are untouched. This is how the daemon runs many client
+// requests over one pool and cancels exactly one of them.
+//
 // Contract: task functions must be leaves — they must not call Map on the
 // same Farm (sweep coordinators run on ordinary goroutines; only leaf
 // simulations run as tasks). A nil *Farm is valid and runs every Map
@@ -35,6 +43,12 @@ import (
 // degenerate -parallel case and what unit tests use for byte-for-byte
 // reference runs.
 type Farm struct {
+	p   *pool
+	ctx context.Context // nil means never cancelled
+}
+
+// pool holds the shared worker state behind one or more Farm handles.
+type pool struct {
 	workers int
 
 	mu      sync.Mutex
@@ -50,6 +64,8 @@ type Farm struct {
 	executed  atomic.Uint64
 	stolen    atomic.Uint64
 	panics    atomic.Uint64
+	canceled  atomic.Uint64
+	inflight  atomic.Int64
 	busyNs    []atomic.Int64
 }
 
@@ -63,12 +79,14 @@ type task struct {
 	home int
 }
 
-// group tracks one Map call's outstanding points.
+// group tracks one Map call's outstanding points. ctx, when non-nil,
+// cancels the group's not-yet-started points.
 type group struct {
 	n    int
 	done int
 	errs []error
 	fin  chan struct{}
+	ctx  context.Context
 }
 
 // NewFarm starts a pool of `parallel` workers (<=0 means GOMAXPROCS).
@@ -78,75 +96,110 @@ func NewFarm(parallel int) *Farm {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	f := &Farm{
+	p := &pool{
 		workers: parallel,
 		deques:  make([][]*task, parallel),
 		busyNs:  make([]atomic.Int64, parallel),
 		started: time.Now(),
 	}
-	f.cond = sync.NewCond(&f.mu)
+	p.cond = sync.NewCond(&p.mu)
 	for w := 0; w < parallel; w++ {
-		f.wg.Add(1)
-		go f.worker(w)
+		p.wg.Add(1)
+		go p.worker(w)
 	}
-	return f
+	return &Farm{p: p}
 }
 
-// Workers returns the pool size (0 for a nil farm).
-func (f *Farm) Workers() int {
+// WithContext returns a handle on the same pool whose Map calls stop
+// scheduling new points once ctx is done: every queued point of such a
+// Map completes with ctx.Err() without running (points already executing
+// finish — simulations are not interruptible mid-point). Valid on a nil
+// farm, where it returns a serial handle with the same cancellation
+// semantics.
+func (f *Farm) WithContext(ctx context.Context) *Farm {
 	if f == nil {
+		return &Farm{ctx: ctx}
+	}
+	return &Farm{p: f.p, ctx: ctx}
+}
+
+// Workers returns the pool size (0 for a nil/serial farm).
+func (f *Farm) Workers() int {
+	if f == nil || f.p == nil {
 		return 0
 	}
-	return f.workers
+	return f.p.workers
 }
 
 // Map runs fn(0..n-1) across the pool and blocks until every point has
 // finished. Errors (including recovered panics) are aggregated with
 // errors.Join in point order; points after a failing one still run, so a
-// partially-failed sweep keeps every completed result. A nil farm runs
-// the points serially with the same semantics.
+// partially-failed sweep keeps every completed result. A nil or serial
+// farm runs the points in order on the calling goroutine with the same
+// semantics. When the handle carries a done context, unstarted points
+// report ctx.Err() instead of running.
 func (f *Farm) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	if f == nil {
-		errs := make([]error, n)
-		for i := 0; i < n; i++ {
-			errs[i] = runPoint(fn, i)
-		}
-		return errors.Join(errs...)
+	var ctx context.Context
+	if f != nil {
+		ctx = f.ctx
 	}
-	grp := &group{n: n, errs: make([]error, n), fin: make(chan struct{})}
-	f.submitted.Add(uint64(n))
-	f.mu.Lock()
-	if f.closed {
+	if f == nil || f.p == nil {
+		return mapSerial(ctx, n, fn)
+	}
+	p := f.p
+	grp := &group{n: n, errs: make([]error, n), fin: make(chan struct{}), ctx: ctx}
+	p.submitted.Add(uint64(n))
+	p.mu.Lock()
+	if p.closed {
 		// Late submission after Close: degrade to serial rather than
 		// deadlock on workers that already exited.
-		f.mu.Unlock()
-		errs := make([]error, n)
-		for i := 0; i < n; i++ {
-			errs[i] = runPoint(fn, i)
-		}
-		return errors.Join(errs...)
+		p.mu.Unlock()
+		return mapSerial(ctx, n, fn)
 	}
 	for i := 0; i < n; i++ {
-		home := i % f.workers
-		f.deques[home] = append(f.deques[home], &task{fn: fn, grp: grp, idx: i, home: home})
+		home := i % p.workers
+		p.deques[home] = append(p.deques[home], &task{fn: fn, grp: grp, idx: i, home: home})
 	}
-	f.pending += n
-	if f.pending > f.hwm {
-		f.hwm = f.pending
+	p.pending += n
+	if p.pending > p.hwm {
+		p.hwm = p.pending
 	}
-	f.cond.Broadcast()
-	f.mu.Unlock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
 	<-grp.fin
 	return errors.Join(grp.errs...)
+}
+
+// mapSerial is the nil/serial/late-submission path: points run in order
+// on the calling goroutine, honouring ctx between points.
+func mapSerial(ctx context.Context, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			errs[i] = ctx.Err()
+			continue
+		}
+		errs[i] = runPoint(fn, i)
+	}
+	return errors.Join(errs...)
 }
 
 // panicError marks an error that was recovered from a panicking point.
 type panicError struct{ msg string }
 
 func (e *panicError) Error() string { return e.msg }
+
+// IsPanic reports whether err (or any error it joins/wraps) was recovered
+// from a panicking sweep point. The daemon's retry policy treats these as
+// transient: the point is deterministic but the panic may have been
+// injected, so one bounded re-run is worthwhile before giving up.
+func IsPanic(err error) bool {
+	var pe *panicError
+	return errors.As(err, &pe)
+}
 
 // runPoint executes one point, converting a panic into an error so a bad
 // point reports instead of killing the whole sweep.
@@ -160,65 +213,71 @@ func runPoint(fn func(i int) error, i int) (err error) {
 }
 
 // worker is one pool goroutine: drain own deque LIFO, steal FIFO, sleep.
-func (f *Farm) worker(w int) {
-	defer f.wg.Done()
+func (p *pool) worker(w int) {
+	defer p.wg.Done()
 	for {
-		f.mu.Lock()
-		t := f.takeLocked(w)
-		for t == nil && !f.closed {
-			f.cond.Wait()
-			t = f.takeLocked(w)
+		p.mu.Lock()
+		t := p.takeLocked(w)
+		for t == nil && !p.closed {
+			p.cond.Wait()
+			t = p.takeLocked(w)
 		}
 		if t == nil { // closed and drained
-			f.mu.Unlock()
+			p.mu.Unlock()
 			return
 		}
-		f.pending--
-		f.mu.Unlock()
+		p.pending--
+		p.mu.Unlock()
 
-		if t.home != w {
-			f.stolen.Add(1)
+		if t.grp.ctx != nil && t.grp.ctx.Err() != nil {
+			// The group's request was cancelled: complete the point with
+			// the context error without burning a simulation on it.
+			p.canceled.Add(1)
+			p.finish(t, t.grp.ctx.Err())
+			continue
 		}
+		if t.home != w {
+			p.stolen.Add(1)
+		}
+		p.inflight.Add(1)
 		start := time.Now()
 		err := runPoint(t.fn, t.idx)
-		f.busyNs[w].Add(int64(time.Since(start)))
-		f.finish(t, err)
+		p.busyNs[w].Add(int64(time.Since(start)))
+		p.inflight.Add(-1)
+		p.finish(t, err)
 	}
 }
 
 // finish records a completed point and releases its group when it was the
 // last one.
-func (f *Farm) finish(t *task, err error) {
-	f.executed.Add(1)
-	if err != nil {
-		var pe *panicError
-		if errors.As(err, &pe) {
-			f.panics.Add(1)
-		}
+func (p *pool) finish(t *task, err error) {
+	p.executed.Add(1)
+	if err != nil && IsPanic(err) {
+		p.panics.Add(1)
 	}
-	f.mu.Lock()
+	p.mu.Lock()
 	t.grp.errs[t.idx] = err
 	t.grp.done++
 	if t.grp.done == t.grp.n {
 		close(t.grp.fin)
 	}
-	f.mu.Unlock()
+	p.mu.Unlock()
 }
 
 // takeLocked pops a task: back of the worker's own deque first (LIFO —
 // cache-warm freshest work), then the front of the next non-empty deque
-// (FIFO — steal the oldest, least-contended task). Caller holds f.mu.
-func (f *Farm) takeLocked(w int) *task {
-	if d := f.deques[w]; len(d) > 0 {
+// (FIFO — steal the oldest, least-contended task). Caller holds p.mu.
+func (p *pool) takeLocked(w int) *task {
+	if d := p.deques[w]; len(d) > 0 {
 		t := d[len(d)-1]
-		f.deques[w] = d[:len(d)-1]
+		p.deques[w] = d[:len(d)-1]
 		return t
 	}
-	for off := 1; off < f.workers; off++ {
-		v := (w + off) % f.workers
-		if d := f.deques[v]; len(d) > 0 {
+	for off := 1; off < p.workers; off++ {
+		v := (w + off) % p.workers
+		if d := p.deques[v]; len(d) > 0 {
 			t := d[0]
-			f.deques[v] = d[1:]
+			p.deques[v] = d[1:]
 			return t
 		}
 	}
@@ -228,38 +287,64 @@ func (f *Farm) takeLocked(w int) *task {
 // Close stops the workers after the queues drain. Map must not be in
 // flight; late Map calls fall back to serial execution.
 func (f *Farm) Close() {
-	if f == nil {
+	if f == nil || f.p == nil {
 		return
 	}
-	f.mu.Lock()
-	f.closed = true
-	f.cond.Broadcast()
-	f.mu.Unlock()
-	f.wg.Wait()
+	p := f.p
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// QueueDepth returns the number of queued-but-unstarted points right now.
+// Live (not post-hoc): the daemon's admission control reads it to decide
+// whether to shed load before another Map piles onto the pool.
+func (f *Farm) QueueDepth() int {
+	if f == nil || f.p == nil {
+		return 0
+	}
+	f.p.mu.Lock()
+	defer f.p.mu.Unlock()
+	return f.p.pending
+}
+
+// InFlight returns the number of points executing at this instant.
+func (f *Farm) InFlight() int {
+	if f == nil || f.p == nil {
+		return 0
+	}
+	return int(f.p.inflight.Load())
 }
 
 // Stats snapshots the scheduler metrics (see doc/FARM.md). Host-time
 // based, so informational only — never part of a gated artifact.
 func (f *Farm) Stats() obs.FarmStats {
-	if f == nil {
+	if f == nil || f.p == nil {
 		return obs.FarmStats{}
 	}
-	f.mu.Lock()
-	hwm := f.hwm
-	f.mu.Unlock()
+	p := f.p
+	p.mu.Lock()
+	hwm := p.hwm
+	pending := p.pending
+	p.mu.Unlock()
 	s := obs.FarmStats{
-		Workers:   f.workers,
-		Submitted: f.submitted.Load(),
-		Executed:  f.executed.Load(),
-		Steals:    f.stolen.Load(),
-		Panics:    f.panics.Load(),
-		QueueHWM:  hwm,
+		Workers:    p.workers,
+		Submitted:  p.submitted.Load(),
+		Executed:   p.executed.Load(),
+		Steals:     p.stolen.Load(),
+		Panics:     p.panics.Load(),
+		Canceled:   p.canceled.Load(),
+		QueueHWM:   hwm,
+		QueueDepth: pending,
+		InFlight:   int(p.inflight.Load()),
 	}
-	wall := time.Since(f.started)
+	wall := time.Since(p.started)
 	if wall > 0 {
-		for w := 0; w < f.workers; w++ {
+		for w := 0; w < p.workers; w++ {
 			s.UtilPct = append(s.UtilPct,
-				100*float64(f.busyNs[w].Load())/float64(wall))
+				100*float64(p.busyNs[w].Load())/float64(wall))
 		}
 	}
 	return s

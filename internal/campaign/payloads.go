@@ -26,6 +26,7 @@ var builders = []func() Payload{
 	func() Payload { return &atsSpoof{} },
 	func() Payload { return &magazineReuse{} },
 	func() Payload { return &staleRead{} },
+	func() Payload { return &interruptStorm{} },
 }
 
 // Payloads returns the canonical payload names in matrix row order.
@@ -670,3 +671,61 @@ func (a *staleRead) Cleanup(p *sim.Proc, t *Target) error {
 	t.Mach.Mapper.Quiesce(p)
 	return nil
 }
+
+// ---- interrupt-storm -------------------------------------------------
+
+// interruptStorm spams message-signaled-interrupt doorbell writes at
+// vectors the OS never granted the device — an interrupt flood aimed at
+// other devices' handlers. Interrupt remapping (active whenever the
+// design translates) blocks every ungranted vector; translation-free
+// designs deliver the raw doorbell writes to the interrupt controller.
+type interruptStorm struct {
+	before iommu.MSIStats
+	writes int
+}
+
+func (a *interruptStorm) Name() string { return "interrupt-storm" }
+func (a *interruptStorm) Title() string {
+	return "flood ungranted MSI vectors through the interrupt doorbell"
+}
+
+func (a *interruptStorm) Identify(p *sim.Proc, t *Target) error {
+	// Behave first: ordinary traffic establishes the device's granted
+	// vectors as the baseline the storm then departs from.
+	if err := t.RunTraffic(p, 8); err != nil {
+		return err
+	}
+	a.before = t.Mach.IOMMU.MSIStats()
+	return nil
+}
+
+func (a *interruptStorm) Deliver(p *sim.Proc, t *Target) error {
+	// 64 rounds x 8 high vectors (0xE0..0xE7 — nothing the NIC was ever
+	// granted), spaced like a real storm rather than one burst.
+	for round := 0; round < 64; round++ {
+		for v := uint32(0); v < 8; v++ {
+			t.Mach.IOMMU.MSIWrite(t.Dev(), iommu.MSIBase, 0xE0+v)
+			a.writes++
+		}
+		sleepUs(p, 5)
+	}
+	return nil
+}
+
+func (a *interruptStorm) Verify(p *sim.Proc, t *Target, r *Result) error {
+	st := t.Mach.IOMMU.MSIStats()
+	spurious := st.Spurious - a.before.Spurious
+	blocked := st.Blocked - a.before.Blocked
+	r.Success = spurious >= uint64(a.writes)
+	r.Metrics["msi_writes"] = float64(a.writes)
+	r.Metrics["spurious_delivered"] = float64(spurious)
+	r.Metrics["remap_blocked"] = float64(blocked)
+	if r.Success {
+		r.Detail = "every ungranted doorbell write reached the interrupt controller"
+	} else {
+		r.Detail = "interrupt remapping blocked the storm"
+	}
+	return nil
+}
+
+func (a *interruptStorm) Cleanup(p *sim.Proc, t *Target) error { return nil }

@@ -1,0 +1,192 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/chaos"
+	"repro/internal/report"
+	"repro/internal/tenant"
+)
+
+// exec runs one normalized spec on the daemon's warm farm, reproducing
+// the same-named cmd/* tool's artifact construction exactly — same
+// experiment order, same metrics — so daemon-served artifacts diff clean
+// against one-shot runs (the farm table and created_at stamp are the
+// documented diff-exempt exceptions). The context cancels queued sweep
+// points; points already executing finish (simulations are not
+// interruptible mid-point), so cancellation is prompt but not instant.
+func (d *Daemon) exec(ctx context.Context, spec RunSpec) (*report.Artifact, error) {
+	farm := d.farm.WithContext(ctx)
+	switch spec.Tool {
+	case "reproduce":
+		return execReproduce(farm, spec)
+	case "chaosbench":
+		return execChaos(farm, spec)
+	case "attackbench":
+		return execAttack(farm, spec)
+	case "tenantbench":
+		return execTenant(farm, spec)
+	}
+	return nil, fmt.Errorf("unknown tool %q", spec.Tool)
+}
+
+// execReproduce mirrors cmd/reproduce: suite sections (filtered by the
+// experiment list) concurrent with Table 1, then the farm table.
+func execReproduce(farm *bench.Farm, spec RunSpec) (*report.Artifact, error) {
+	opt := bench.Options{WindowMs: spec.WindowMs, Farm: farm}
+	sections := bench.Suite(!spec.SkipSensitivity)
+	runTable1 := true
+	if spec.Experiments != "all" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(spec.Experiments, ",") {
+			want[n] = true
+		}
+		runTable1 = want["table1"]
+		var filtered []bench.Section
+		for _, s := range sections {
+			if want[s.Name] {
+				filtered = append(filtered, s)
+			}
+		}
+		sections = filtered
+	}
+
+	type table1Out struct {
+		rows []attack.Table1Row
+		tbl  *bench.Table
+		err  error
+	}
+	t1ch := make(chan table1Out, 1)
+	if runTable1 {
+		go func() {
+			rows, tbl, err := attack.Table1(spec.WindowMs)
+			t1ch <- table1Out{rows, tbl, err}
+		}()
+	}
+	tables, err := bench.RunSuite(sections, opt, 0)
+	if err != nil {
+		return nil, err
+	}
+	var t1 table1Out
+	if runTable1 {
+		t1 = <-t1ch
+		if t1.err != nil {
+			return nil, t1.err
+		}
+		tables = append([]*bench.Table{t1.tbl}, tables...)
+	}
+	tables = append(tables, bench.FarmTable(farm.Stats()))
+	a := bench.Artifact("reproduce", spec.WindowMs, nil, tables)
+	a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	if runTable1 {
+		a.Attacks = attack.Verdicts(t1.rows)
+	}
+	return a, nil
+}
+
+// execChaos mirrors cmd/chaosbench: scenarios on coordinator goroutines
+// over the shared farm, tables in scenario order.
+func execChaos(farm *bench.Farm, spec RunSpec) (*report.Artifact, error) {
+	cfg := chaos.Config{Seed: spec.Seed, WindowMs: spec.WindowMs,
+		Cores: spec.Cores, System: spec.System, Farm: farm}
+	var run []chaos.Scenario
+	if spec.Scenarios == "all" {
+		run = chaos.Scenarios
+	} else {
+		for _, name := range strings.Split(spec.Scenarios, ",") {
+			s, err := chaos.Find(name)
+			if err != nil {
+				return nil, err
+			}
+			run = append(run, s)
+		}
+	}
+	tables := make([]*bench.Table, len(run))
+	errs := make([]error, len(run))
+	var wg sync.WaitGroup
+	for i, s := range run {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t, err := s.Run(cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %v", s.Name, err)
+				return
+			}
+			tables[i] = t
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	art := report.New("chaosbench", spec.WindowMs, cfg.Costs)
+	for _, t := range tables {
+		art.Add(t.Experiment())
+	}
+	return art, nil
+}
+
+// execAttack mirrors cmd/attackbench: the payload x backend success
+// matrix as one experiment.
+func execAttack(farm *bench.Farm, spec RunSpec) (*report.Artifact, error) {
+	cfg := campaign.MatrixConfig{
+		Seed:     spec.Seed,
+		Payloads: splitList(spec.Payloads),
+		Systems:  splitList(spec.Systems),
+		Farm:     farm,
+	}
+	tb, _, err := campaign.Matrix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	art := report.New("attackbench", campaign.CellWindowMs, nil)
+	art.Add(tb.Experiment())
+	return art, nil
+}
+
+// execTenant mirrors cmd/tenantbench: tenant.Bench builds the artifact
+// (isolation matrix + tenant-count sweep) itself.
+func execTenant(farm *bench.Farm, spec RunSpec) (*report.Artifact, error) {
+	counts, err := splitInts(spec.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	frames, err := splitInts(spec.Frames)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tenant.BenchConfig{
+		Seed:         spec.Seed,
+		Schemes:      splitList(spec.Schemes),
+		Attacks:      splitList(spec.Attacks),
+		TenantCounts: counts,
+		FrameSizes:   frames,
+		Farm:         farm,
+	}
+	art, _, err := tenant.Bench(cfg)
+	return art, err
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

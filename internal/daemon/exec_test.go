@@ -1,0 +1,101 @@
+package daemon
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// decodeArt decodes a served artifact or fails the test.
+func decodeArt(t *testing.T, raw []byte) *report.Artifact {
+	t.Helper()
+	a, err := report.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decoding daemon artifact: %v", err)
+	}
+	return a
+}
+
+// expNames lists an artifact's experiment names in order.
+func expNames(a *report.Artifact) []string {
+	out := make([]string, len(a.Experiments))
+	for i, e := range a.Experiments {
+		out[i] = e.Name
+	}
+	return out
+}
+
+func TestDaemonExecReproduce(t *testing.T) {
+	_, c := testDaemon(t, nil)
+	spec := RunSpec{Tool: "reproduce", WindowMs: 0.5, SkipSensitivity: true, Experiments: "fig3"}
+	resp := mustRun(t, c, spec, false)
+	a := decodeArt(t, resp.Artifact)
+	got := expNames(a)
+	if len(got) != 2 || got[0] != "fig3" || got[1] != "farm" {
+		t.Fatalf("experiments = %v, want [fig3 farm]", got)
+	}
+	if a.CreatedAt == "" {
+		t.Error("reproduce artifact missing created_at stamp")
+	}
+	// Determinism through the daemon: a recompute produces the same
+	// simulated metrics (created_at and farm.* are the documented
+	// diff-exempt fields).
+	resp2 := mustRun(t, c, spec, true)
+	r, err := report.Diff(a, decodeArt(t, resp2.Artifact), report.DiffOptions{Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("recomputed reproduce artifact drifted:\n%s", r)
+	}
+}
+
+func TestDaemonExecReproduceWithTable1(t *testing.T) {
+	_, c := testDaemon(t, nil)
+	spec := RunSpec{Tool: "reproduce", WindowMs: 0.5, SkipSensitivity: true, Experiments: "table1,fig3"}
+	resp := mustRun(t, c, spec, false)
+	a := decodeArt(t, resp.Artifact)
+	got := expNames(a)
+	if len(got) != 3 || got[0] != "table1" {
+		t.Fatalf("experiments = %v, want table1 leading [table1 fig3 farm]", got)
+	}
+	if len(a.Attacks) == 0 {
+		t.Error("table1 run produced no attack verdicts")
+	}
+}
+
+func TestDaemonExecAttack(t *testing.T) {
+	_, c := testDaemon(t, nil)
+	spec := RunSpec{Tool: "attackbench", Seed: 1,
+		Payloads: "subpage-harvest", Systems: "strict,no iommu"}
+	resp := mustRun(t, c, spec, false)
+	a := decodeArt(t, resp.Artifact)
+	if got := expNames(a); len(got) != 1 || got[0] != "campaign" {
+		t.Fatalf("experiments = %v, want [campaign]", got)
+	}
+	if a.Tool != "attackbench" {
+		t.Errorf("tool = %q", a.Tool)
+	}
+}
+
+func TestDaemonExecTenant(t *testing.T) {
+	_, c := testDaemon(t, nil)
+	spec := RunSpec{Tool: "tenantbench", Seed: 1, Tenants: "2", Frames: "1500"}
+	resp := mustRun(t, c, spec, false)
+	a := decodeArt(t, resp.Artifact)
+	if a.Tool != "tenantbench" || len(a.Experiments) == 0 {
+		t.Fatalf("tenant artifact: tool %q, %d experiments", a.Tool, len(a.Experiments))
+	}
+}
+
+func TestDaemonExecTenantBadCounts(t *testing.T) {
+	_, c := testDaemon(t, nil)
+	resp, err := c.Run(RunSpec{Tool: "tenantbench", Tenants: "two"}, 0, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("malformed tenant counts accepted")
+	}
+}

@@ -103,6 +103,11 @@ type IOMMU struct {
 	// (tracepoint-style debugging; see internal/trace).
 	Trace *trace.Tracer
 
+	// msiGrants holds the interrupt-remapping table: per device, the
+	// vectors the OS granted it (see msi.go).
+	msiGrants map[DeviceID]map[uint32]bool
+	msiStats  MSIStats
+
 	// Stats
 	Translations uint64
 	FaultCount   uint64

@@ -120,9 +120,16 @@ func New(eng *sim.Engine, u *iommu.IOMMU, cfg Config) *NIC {
 			RxCond: sim.NewCond("rx"),
 			TxCond: sim.NewCond("tx"),
 		})
+		// Attach-time interrupt setup: the OS grants one MSI vector per
+		// queue pair, programming the IOMMU's interrupt-remapping table.
+		// Anything else the device signals is spurious (iommu/msi.go).
+		u.GrantMSI(cfg.Dev, msiVector(i))
 	}
 	return n
 }
+
+// msiVector is queue i's granted interrupt vector.
+func msiVector(q int) uint32 { return 32 + uint32(q) }
 
 // Queue returns queue pair i.
 func (n *NIC) Queue(i int) *Queue { return n.queues[i] }
@@ -205,6 +212,9 @@ func (q *Queue) DeliverFrame(now uint64, payload []byte) {
 	q.rxComp = append(q.rxComp, RxCompletion{Desc: d, Len: ln})
 	// Interrupt after the IRQ delivery latency; NAPI-style batching
 	// happens naturally because the driver drains everything pending.
+	// The doorbell write is the MSI that carries it (accounting only —
+	// no simulated time, no gated metrics).
+	n.u.MSIWrite(n.cfg.Dev, iommu.MSIBase, msiVector(q.idx))
 	q.RxCond.SignalAt(now+res.Latency+n.cfg.Costs.IRQLatency, 1)
 }
 
@@ -301,6 +311,7 @@ func (q *Queue) deviceTx(now uint64) {
 
 func (q *Queue) completeTx(at uint64, d Desc) {
 	n := q.nic
+	n.u.MSIWrite(n.cfg.Dev, iommu.MSIBase, msiVector(q.idx))
 	n.eng.Schedule(at+n.cfg.Costs.IRQLatency, func(now uint64) {
 		q.txOutstanding--
 		q.txComp = append(q.txComp, d)
